@@ -1,0 +1,20 @@
+"""Bench: Fig. 10 — hardware-realism ablations (extension)."""
+
+from conftest import BENCH_ACCESSES, run_once
+
+from repro.experiments import fig10_hardware_ablations
+
+
+def test_fig10_hardware_ablations(benchmark):
+    result = run_once(
+        benchmark, fig10_hardware_ablations.run, accesses=BENCH_ACCESSES
+    )
+    sampling = [row for row in result.rows if row["ablation"] == "sampling"]
+    # Shape target: 1-in-8 sampling keeps most of the exact gain.
+    for row in sampling:
+        exact_gain = row["1/1"] - 1.0
+        sampled_gain = row["1/8"] - 1.0
+        if exact_gain > 0.05:
+            assert sampled_gain > 0.4 * exact_gain, row["benchmark"]
+    print()
+    print(result.to_text())

@@ -1,0 +1,16 @@
+"""Bench: Fig. 11 — NUcache vs later PC-based policies (extension)."""
+
+from conftest import BENCH_ACCESSES, run_once
+
+from repro.experiments import fig11_pc_policies
+
+
+def test_fig11_pc_policies(benchmark):
+    result = run_once(benchmark, fig11_pc_policies.run, accesses=BENCH_ACCESSES)
+    summary = result.summary
+    # Shape target: the PC-based schemes lead the PC-blind ones.
+    pc_based = max(summary["gmean_ship_vs_lru"], summary["gmean_nucache_vs_lru"])
+    assert pc_based >= summary["gmean_drrip_vs_lru"] - 0.01
+    assert summary["gmean_nucache_vs_lru"] > 0.05
+    print()
+    print(result.to_text())

@@ -1,0 +1,22 @@
+"""Bench: Fig. 12 — NUcache under hardware prefetching (extension)."""
+
+from conftest import BENCH_ACCESSES, run_once
+
+from repro.experiments import fig12_prefetch
+
+
+def test_fig12_prefetch(benchmark):
+    result = run_once(benchmark, fig12_prefetch.run, accesses=BENCH_ACCESSES)
+    rows = {row["benchmark"]: row for row in result.rows}
+    # Without prefetching the delinquent gains are there...
+    assert rows["art_like"]["none:gain"] > 0.15
+    # ...a stride prefetcher absorbs art's strided loop (gain shrinks)...
+    assert rows["art_like"]["stride:gain"] < rows["art_like"]["none:gain"]
+    # ...and prefetching never makes NUcache meaningfully harmful
+    # (a few percent of noise on the irregular benchmarks is expected;
+    # full-scale numbers are in EXPERIMENTS.md).
+    for row in rows.values():
+        for prefetcher in ("none", "nextline", "stride", "stream"):
+            assert row[f"{prefetcher}:gain"] > -0.08, (row["benchmark"], prefetcher)
+    print()
+    print(result.to_text())

@@ -1,0 +1,16 @@
+"""Bench: Fig. 13 — bandwidth-contention sensitivity (extension)."""
+
+from conftest import BENCH_ACCESSES, run_once
+
+from repro.experiments import fig13_bandwidth
+
+
+def test_fig13_bandwidth(benchmark):
+    result = run_once(benchmark, fig13_bandwidth.run, accesses=BENCH_ACCESSES)
+    summary = result.summary
+    # Shape target: removing misses pays at least as much when memory
+    # queues as when it does not.
+    assert summary["gmean_gain_bandwidth"] >= summary["gmean_gain_fixed"] - 0.02
+    assert summary["gmean_gain_fixed"] > 0.03
+    print()
+    print(result.to_text())

@@ -1,0 +1,19 @@
+"""Bench: Fig. 14 — phase adaptivity (extension)."""
+
+from conftest import BENCH_ACCESSES, run_once
+
+from repro.experiments import fig14_phases
+
+
+def test_fig14_phases(benchmark):
+    # Phases need enough length each for two selection epochs.
+    result = run_once(benchmark, fig14_phases.run, accesses=2 * BENCH_ACCESSES)
+    rows = {row["configuration"]: row for row in result.rows}
+    adaptive = rows["nucache (default epochs)"]["vs_lru"]
+    frozen = rows["nucache (selection frozen)"]["vs_lru"]
+    # Shape targets: adaptation beats LRU and clearly beats staleness.
+    assert adaptive > 1.05
+    assert result.summary["adaptive_vs_frozen"] > 1.05
+    assert frozen < adaptive
+    print()
+    print(result.to_text())

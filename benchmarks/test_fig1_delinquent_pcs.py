@@ -1,0 +1,16 @@
+"""Bench: Fig. 1 — miss concentration in delinquent PCs."""
+
+from conftest import BENCH_ACCESSES, run_once
+
+from repro.experiments import fig1_delinquent_pcs
+
+
+def test_fig1_delinquent_pcs(benchmark):
+    result = run_once(benchmark, fig1_delinquent_pcs.run, accesses=BENCH_ACCESSES)
+    # Shape target: few PCs cover most misses, on every benchmark.
+    covered = [row["top8"] for row in result.rows if row["total_misses"] > 0]
+    assert covered, "no benchmark produced LLC misses"
+    assert min(covered) > 0.6
+    assert result.summary["mean_top8_coverage"] > 0.85
+    print()
+    print(result.to_text())

@@ -1,0 +1,23 @@
+"""Bench: Fig. 2 — Next-Use distance CDF."""
+
+from conftest import BENCH_ACCESSES, run_once
+
+from repro.experiments import fig2_nextuse_cdf
+from repro.workloads.spec_like import benchmark_class
+
+
+def test_fig2_nextuse_cdf(benchmark):
+    result = run_once(benchmark, fig2_nextuse_cdf.run, accesses=BENCH_ACCESSES)
+    rows = {row["benchmark"]: row for row in result.rows}
+    # Shape target: delinquent benchmarks have plenty of reuse events
+    # and most of the mass within the default DeliWay capacity (2048).
+    for name, row in rows.items():
+        if benchmark_class(name) == "delinquent":
+            assert row["events"] > 100, name
+            assert row["<= 2048"] > 0.5, name
+    # Streaming benchmarks have (nearly) no short-distance reuse events.
+    for name, row in rows.items():
+        if benchmark_class(name) == "streaming":
+            assert row["events"] < rows["art_like"]["events"], name
+    print()
+    print(result.to_text())

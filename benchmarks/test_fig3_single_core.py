@@ -1,0 +1,24 @@
+"""Bench: Fig. 3 — single-core NUcache vs LRU."""
+
+from conftest import BENCH_ACCESSES, run_once
+
+from repro.experiments import fig3_single_core
+
+
+def test_fig3_single_core(benchmark):
+    # Fig. 3 needs longer traces than the other benches: the near-LLC-
+    # capacity benchmarks take several reuse rounds to converge, and at
+    # short lengths that transient dominates their tiny miss counts.
+    result = run_once(benchmark, fig3_single_core.run, accesses=2 * BENCH_ACCESSES)
+    by_class = {}
+    for row in result.rows:
+        by_class.setdefault(row["class"], []).append(row["speedup"])
+    # Shape targets: clear wins on the delinquent class...
+    assert max(by_class["delinquent"]) > 1.15
+    assert min(by_class["delinquent"]) > 0.98
+    # ...and no significant degradation anywhere else.
+    for klass in ("friendly", "streaming", "partition"):
+        assert min(by_class[klass]) > 0.93, (klass, by_class[klass])
+    assert result.summary["gmean_speedup"] > 1.0
+    print()
+    print(result.to_text())

@@ -1,0 +1,13 @@
+"""Bench: Fig. 5 — dual-core weighted speedup (paper: +9.6%)."""
+
+from conftest import BENCH_ACCESSES, run_once
+
+from repro.experiments.fig567_multicore import run_fig5
+
+
+def test_fig5_multicore_dual(benchmark):
+    result = run_once(benchmark, run_fig5, accesses=BENCH_ACCESSES)
+    # Shape target: positive average improvement over LRU.
+    assert result.summary["gmean_improvement"] > 0.02
+    print()
+    print(result.to_text())

@@ -1,0 +1,12 @@
+"""Bench: Fig. 6 — quad-core weighted speedup (paper: +30%)."""
+
+from conftest import BENCH_ACCESSES, run_once
+
+from repro.experiments.fig567_multicore import run_fig6
+
+
+def test_fig6_multicore_quad(benchmark):
+    result = run_once(benchmark, run_fig6, accesses=BENCH_ACCESSES)
+    assert result.summary["gmean_improvement"] > 0.05
+    print()
+    print(result.to_text())

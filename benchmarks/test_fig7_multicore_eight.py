@@ -1,0 +1,12 @@
+"""Bench: Fig. 7 — eight-core weighted speedup (paper: +33%)."""
+
+from conftest import BENCH_ACCESSES, run_once
+
+from repro.experiments.fig567_multicore import run_fig7
+
+
+def test_fig7_multicore_eight(benchmark):
+    result = run_once(benchmark, run_fig7, accesses=BENCH_ACCESSES)
+    assert result.summary["gmean_improvement"] > 0.05
+    print()
+    print(result.to_text())

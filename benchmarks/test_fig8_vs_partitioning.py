@@ -1,0 +1,18 @@
+"""Bench: Fig. 8 — NUcache vs UCP / PIPP / TADIP-F."""
+
+from conftest import BENCH_ACCESSES, run_once
+
+from repro.experiments import fig8_vs_partitioning
+
+
+def test_fig8_vs_partitioning(benchmark):
+    result = run_once(benchmark, fig8_vs_partitioning.run, accesses=BENCH_ACCESSES)
+    summary = result.summary
+    # Shape target: NUcache's average improvement tops every other
+    # scheme's (small tolerance for scaled-trace noise).
+    nucache = summary["gmean_nucache_vs_lru"]
+    assert nucache > 0.05
+    for policy in ("ucp", "pipp", "tadip"):
+        assert nucache >= summary[f"gmean_{policy}_vs_lru"] - 0.01, policy
+    print()
+    print(result.to_text())

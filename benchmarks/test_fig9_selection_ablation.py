@@ -1,0 +1,18 @@
+"""Bench: Fig. 9 — selection and epoch-length ablations."""
+
+from conftest import BENCH_ACCESSES, run_once
+
+from repro.experiments import fig9_selection_ablation
+
+
+def test_fig9_selection_ablation(benchmark):
+    result = run_once(benchmark, fig9_selection_ablation.run, accesses=BENCH_ACCESSES)
+    selector_rows = [row for row in result.rows if row["ablation"] == "selector"]
+    # Shape targets: cost-benefit (greedy) tracks the oracle and beats
+    # the topk strawman where it matters (art_like).
+    art = next(row for row in selector_rows if row["benchmark"] == "art_like")
+    assert art["greedy"] > art["topk"] + 0.05
+    for row in selector_rows:
+        assert row["greedy"] >= 0.9 * row["oracle"], row["benchmark"]
+    print()
+    print(result.to_text())

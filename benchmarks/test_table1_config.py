@@ -1,0 +1,13 @@
+"""Bench: Table 1 — system configuration rendering."""
+
+from conftest import run_once
+
+from repro.experiments import table1_config
+
+
+def test_table1_config(benchmark):
+    result = run_once(benchmark, table1_config.run)
+    assert len(result.rows) == 4
+    assert result.rows[-1]["cores"] == 8
+    print()
+    print(result.to_text())

@@ -1,0 +1,13 @@
+"""Bench: Table 2 — NUcache hardware overhead budget."""
+
+from conftest import run_once
+
+from repro.experiments import table2_overhead
+
+
+def test_table2_overhead(benchmark):
+    result = run_once(benchmark, table2_overhead.run)
+    # Shape target: small single-digit percentage of LLC capacity.
+    assert all(row["pct_of_llc"] < 5.0 for row in result.rows)
+    print()
+    print(result.to_text())

@@ -1,0 +1,18 @@
+"""Bench: Table 3 — fairness metrics (extension)."""
+
+from conftest import BENCH_ACCESSES, run_once
+
+from repro.experiments import table3_fairness
+
+
+def test_table3_fairness(benchmark):
+    result = run_once(benchmark, table3_fairness.run, accesses=BENCH_ACCESSES)
+    # Shape target: ANTT improved or equal on a clear majority of mixes,
+    # and fairness never collapses under NUcache.
+    improved = result.summary["mixes_with_antt_improved_or_equal"]
+    total = result.summary["mixes_total"]
+    assert improved >= 0.6 * total
+    for row in result.rows:
+        assert row["nucache:fairness"] > 0.5 * row["lru:fairness"], row["mix"]
+    print()
+    print(result.to_text())

@@ -1,0 +1,33 @@
+"""Bench: Table 4 — simulator throughput by organization (extension).
+
+Not a paper artifact: measures this reproduction's own simulation speed
+(accesses/second through the full L1/L2/LLC hierarchy) per LLC
+organization, so regressions in the hot path show up in CI.
+"""
+
+import time
+
+from repro.sim.runner import run_single
+
+
+POLICIES = ("lru", "dip", "drrip", "ship", "ucp", "pipp", "nucache")
+ACCESSES = 30_000
+
+
+def test_table4_throughput(benchmark):
+    def measure():
+        rows = []
+        for policy in POLICIES:
+            start = time.perf_counter()
+            run_single("art_like", policy, ACCESSES)
+            elapsed = time.perf_counter() - start
+            rows.append((policy, ACCESSES / elapsed))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    print(f"{'policy':<10} {'accesses/sec':>14}")
+    for policy, rate in rows:
+        print(f"{policy:<10} {rate:>14,.0f}")
+        # Guard: even the heaviest organization should sustain >5k acc/s.
+        assert rate > 5_000, policy

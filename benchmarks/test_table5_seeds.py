@@ -1,0 +1,18 @@
+"""Bench: Table 5 — seed sensitivity of the headline (extension)."""
+
+from conftest import BENCH_ACCESSES, run_once
+
+from repro.experiments import table5_seeds
+
+
+def test_table5_seeds(benchmark):
+    result = run_once(
+        benchmark, table5_seeds.run,
+        accesses=BENCH_ACCESSES, num_seeds=3,
+    )
+    summary = result.summary
+    # Shape targets: positive under every seed, modest spread.
+    assert summary["min"] > 0.0
+    assert summary["std"] < max(0.05, 0.5 * summary["mean"])
+    print()
+    print(result.to_text())

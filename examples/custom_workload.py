@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Build, analyze and simulate your own workload.
+
+Shows the full workload workflow the library supports:
+
+1. define a :class:`BenchmarkSpec` from stream primitives,
+2. generate a trace and analyze it with the exact reuse-distance tool
+   (to check it really has the behaviour you intended),
+3. save/load it in both the native and text interchange formats,
+4. run it against several LLC organizations.
+
+Usage::
+
+    python examples/custom_workload.py [output_dir]
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import BenchmarkSpec, generate_trace
+from repro.analysis import analyze, characterize_trace
+from repro.common.config import paper_system_config
+from repro.sim.engine import MulticoreEngine
+from repro.sim.memory import FixedLatencyMemory
+from repro.sim.policies import make_llc
+from repro.workloads import StreamSpec, Trace, load_text, save_text
+
+KB = 1024
+MB = 1024 * KB
+
+
+def build_spec() -> BenchmarkSpec:
+    """A hand-made delinquent benchmark: one hot loop under a stream.
+
+    The loop is sized to overflow the 4096-line LLC once its reuse
+    distance is inflated by the stream — exactly the next-use shape
+    NUcache captures.  Tweak the numbers and watch fig-3-style results
+    move.
+    """
+    return BenchmarkSpec(
+        "my_workload",
+        (
+            StreamSpec("loop", region_bytes=128 * KB, weight=0.35, num_pcs=1),
+            StreamSpec("loop", region_bytes=32 * MB, weight=0.50, num_pcs=2),
+            StreamSpec("hot", region_bytes=8 * KB, weight=0.15),
+        ),
+        instruction_gap=2,
+    )
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(tempfile.mkdtemp())
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    spec = build_spec()
+    trace = generate_trace(spec, 80_000, seed=42)
+    print("generated:", trace.describe())
+
+    # --- analyze: does it have the intended shape? ---------------------
+    character = characterize_trace(trace)
+    print(character.describe())
+    profile = analyze(trace.block_addresses(64).tolist())
+    print(f"LRU miss ratio at 4096 lines (the LLC): "
+          f"{profile.miss_ratio(4096):.2f}  -> should be high")
+    print(f"LRU miss ratio at 8192 lines (2x LLC):  "
+          f"{profile.miss_ratio(8192):.2f}  -> should drop sharply\n")
+
+    # --- save / reload in both formats ---------------------------------
+    npz_path = out_dir / "my_workload.npz"
+    txt_path = out_dir / "my_workload.trace"
+    trace.save(npz_path)
+    save_text(trace.head(1000), txt_path)
+    reloaded = Trace.load(npz_path)
+    imported = load_text(txt_path)
+    print(f"saved {npz_path.name} ({len(reloaded)} accesses) and "
+          f"{txt_path.name} ({len(imported)} accesses, text format)\n")
+
+    # --- simulate under several organizations --------------------------
+    config = paper_system_config(1)
+    print(f"{'policy':<10} {'ipc':>8} {'llc hit':>8}")
+    for policy in ("lru", "dip", "ship", "nucache"):
+        llc = make_llc(policy, config)
+        engine = MulticoreEngine(
+            (reloaded,), llc, config,
+            FixedLatencyMemory(config.latency.memory), warmup_fraction=0.25,
+        )
+        core = engine.run().cores[0]
+        print(f"{policy:<10} {core.ipc:>8.4f} {core.llc_hit_rate:>8.3f}")
+
+
+if __name__ == "__main__":
+    main()

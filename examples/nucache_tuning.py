@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Tune NUcache's knobs on one workload.
+
+Sweeps the three design parameters the paper's sensitivity study covers
+— the MainWays/DeliWays split, the selection epoch length, and the PC
+selection mechanism — and prints IPC normalized to the 16-way LRU
+baseline for each point.
+
+Usage::
+
+    python examples/nucache_tuning.py [benchmark_name]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import run_single
+
+
+def sweep(name: str, accesses: int) -> None:
+    baseline = run_single(name, "lru", accesses).cores[0].ipc
+    print(f"{name}: LRU baseline ipc = {baseline:.4f}\n")
+
+    print("DeliWays split (MainWays + DeliWays = 16):")
+    for deli in (0, 2, 4, 6, 8, 10, 12):
+        ipc = run_single(name, "nucache", accesses, deli_ways=deli).cores[0].ipc
+        bar = "#" * int(40 * ipc / baseline)
+        print(f"  D={deli:<3} ipc/lru = {ipc / baseline:6.3f}  {bar}")
+
+    print("\nepoch length (LLC misses):")
+    for epoch in (2_500, 5_000, 10_000, 20_000, 40_000):
+        ipc = run_single(name, "nucache", accesses, epoch_misses=epoch).cores[0].ipc
+        print(f"  E={epoch:<6} ipc/lru = {ipc / baseline:6.3f}")
+
+    print("\nselection mechanism (reduced candidate pool so the oracle runs):")
+    for selector in ("greedy", "topk", "oracle"):
+        ipc = run_single(
+            name, "nucache", accesses,
+            selector=selector, num_candidate_pcs=10, max_selected_pcs=5,
+        ).cores[0].ipc
+        print(f"  {selector:<8} ipc/lru = {ipc / baseline:6.3f}")
+
+    print("\nDeliWay hit handling:")
+    for mode in ("fifo", "lru"):
+        ipc = run_single(name, "nucache", accesses, deli_replacement=mode).cores[0].ipc
+        label = "promote to MainWays" if mode == "fifo" else "refresh in DeliWays"
+        print(f"  {mode:<6} ({label:<20}) ipc/lru = {ipc / baseline:6.3f}")
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "art_like"
+    sweep(name, accesses=80_000)
+
+
+if __name__ == "__main__":
+    main()

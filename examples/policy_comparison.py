@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Compare every shared-LLC organization on one workload.
+
+Runs a benchmark (single-core) or a mix (multicore) under all registered
+policies — the classic textbook policies, the insertion/partitioning
+baselines of the paper's comparison, and NUcache — and prints a ranking.
+
+Usage::
+
+    python examples/policy_comparison.py                  # art_like, single core
+    python examples/policy_comparison.py ammp_like
+    python examples/policy_comparison.py --mix mix4_1
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import alone_ipc, mix_members, policy_names, run_mix, run_single, weighted_speedup
+
+
+def compare_single(name: str, accesses: int) -> None:
+    print(f"single-core {name}, all policies ({accesses} accesses)\n")
+    rows = []
+    for policy in policy_names():
+        core = run_single(name, policy, accesses).cores[0]
+        rows.append((core.ipc, policy, core.mpki, core.llc_hit_rate))
+    rows.sort(reverse=True)
+    print(f"{'policy':<10} {'ipc':>8} {'mpki':>8} {'llc hit':>8}")
+    for ipc, policy, mpki, hit in rows:
+        print(f"{policy:<10} {ipc:>8.4f} {mpki:>8.2f} {hit:>8.3f}")
+
+
+def compare_mix(mix_name: str, accesses: int) -> None:
+    members = mix_members(mix_name)
+    alone = [alone_ipc(name, len(members), accesses) for name in members]
+    print(f"mix {mix_name} ({', '.join(members)}), all policies\n")
+    rows = []
+    for policy in policy_names():
+        result = run_mix(mix_name, policy, accesses)
+        rows.append((weighted_speedup(result.ipcs, alone), policy))
+    rows.sort(reverse=True)
+    print(f"{'policy':<10} {'weighted speedup':>18}")
+    for speedup, policy in rows:
+        print(f"{policy:<10} {speedup:>18.4f}")
+
+
+def main() -> None:
+    accesses = 80_000
+    args = sys.argv[1:]
+    if args and args[0] == "--mix":
+        compare_mix(args[1] if len(args) > 1 else "mix4_1", accesses)
+    else:
+        compare_single(args[0] if args else "art_like", accesses)
+
+
+if __name__ == "__main__":
+    main()

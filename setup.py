@@ -1,0 +1,10 @@
+"""Shim for environments without the `wheel` package (offline installs).
+
+`pip install -e . --no-build-isolation` needs `wheel` to build editable
+wheels with this setuptools version; `python setup.py develop` does not.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,22 @@
+"""Offline analysis: exact reuse distances, workload characterization."""
+
+from repro.analysis.characterize import (
+    STANDARD_CAPACITIES,
+    WorkloadCharacter,
+    characterize_benchmark,
+    characterize_trace,
+    lru_capacity_for_hit_ratio,
+)
+from repro.analysis.reuse import COLD_DISTANCE, ReuseProfile, analyze, reuse_distances
+
+__all__ = [
+    "COLD_DISTANCE",
+    "ReuseProfile",
+    "STANDARD_CAPACITIES",
+    "WorkloadCharacter",
+    "analyze",
+    "characterize_benchmark",
+    "characterize_trace",
+    "lru_capacity_for_hit_ratio",
+    "reuse_distances",
+]

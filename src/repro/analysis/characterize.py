@@ -1,0 +1,103 @@
+"""Workload characterization built on the reuse-distance analyzer.
+
+Produces the per-benchmark summary used by the exploration example and
+by the workload-calibration tests: footprints, LRU miss-ratio curves at
+cache-relevant capacities, per-PC miss attribution and stream breakdown.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.analysis.reuse import ReuseProfile, analyze
+from repro.common.rng import DEFAULT_SEED
+from repro.workloads.spec_like import benchmark
+from repro.workloads.synthetic import generate_trace
+from repro.workloads.trace import Trace
+
+#: Capacities (in 64 B lines) the characterization reports miss ratios
+#: at: L1, L2, LLC MainWays share, LLC per-core slice, 2x slice.
+STANDARD_CAPACITIES = (128, 1024, 2048, 4096, 8192)
+
+
+@dataclass
+class WorkloadCharacter:
+    """Summary of one benchmark's memory behaviour."""
+
+    name: str
+    accesses: int
+    footprint_blocks: int
+    unique_pcs: int
+    write_fraction: float
+    miss_ratio_curve: Dict[int, float]
+    median_reuse_distance: int
+    pc_access_shares: List[Tuple[int, float]] = field(default_factory=list)
+
+    def describe(self) -> str:
+        """Multi-line human summary."""
+        curve = ", ".join(
+            f"{capacity}: {ratio:.2f}" for capacity, ratio in self.miss_ratio_curve.items()
+        )
+        return (
+            f"{self.name}: {self.accesses} accesses over "
+            f"{self.footprint_blocks} blocks, {self.unique_pcs} PCs, "
+            f"{self.write_fraction:.0%} writes\n"
+            f"  LRU miss ratio by capacity (lines): {curve}\n"
+            f"  median reuse distance: {self.median_reuse_distance}"
+        )
+
+
+def characterize_trace(trace: Trace, block_bytes: int = 64) -> WorkloadCharacter:
+    """Characterize an existing trace."""
+    blocks = trace.block_addresses(block_bytes).tolist()
+    profile = analyze(blocks)
+    pc_counter = Counter(trace.pcs.tolist())
+    total = len(trace)
+    shares = [(pc, count / total) for pc, count in pc_counter.most_common(8)]
+    median = profile.percentile(50)
+    return WorkloadCharacter(
+        name=trace.name,
+        accesses=total,
+        footprint_blocks=profile.footprint,
+        unique_pcs=trace.unique_pcs(),
+        write_fraction=float(trace.is_write.mean()),
+        miss_ratio_curve={
+            capacity: profile.miss_ratio(capacity)
+            for capacity in STANDARD_CAPACITIES
+        },
+        median_reuse_distance=-1 if median is None else median,
+        pc_access_shares=shares,
+    )
+
+
+def characterize_benchmark(
+    name: str, accesses: int = 50_000, seed: int = DEFAULT_SEED
+) -> WorkloadCharacter:
+    """Generate and characterize one catalog benchmark."""
+    return characterize_trace(generate_trace(benchmark(name), accesses, seed))
+
+
+def lru_capacity_for_hit_ratio(
+    profile: ReuseProfile, target_hit_ratio: float, max_capacity: int = 1 << 20
+) -> int:
+    """Smallest LRU capacity achieving a target hit ratio.
+
+    Binary search over the (monotone) miss-ratio curve; returns
+    ``max_capacity`` when the target is unreachable (e.g. streams).
+    """
+    if not 0.0 < target_hit_ratio <= 1.0:
+        raise ValueError(f"target hit ratio must be in (0, 1], got {target_hit_ratio}")
+    low, high = 1, max_capacity
+    if 1.0 - profile.miss_ratio(max_capacity) < target_hit_ratio:
+        return max_capacity
+    while low < high:
+        mid = (low + high) // 2
+        if 1.0 - profile.miss_ratio(mid) >= target_hit_ratio:
+            high = mid
+        else:
+            low = mid + 1
+    return low

@@ -1,0 +1,28 @@
+"""Cache substrate: lines, sets, set-associative caches, hierarchies."""
+
+from repro.cache.cache import (
+    LEVEL_L1,
+    LEVEL_L2,
+    LEVEL_LLC,
+    LEVEL_MEMORY,
+    LastLevelCache,
+    PrivateHierarchy,
+    SetAssociativeCache,
+    make_private_cache,
+)
+from repro.cache.line import NO_PC_SLOT, CacheLine
+from repro.cache.set_ import CacheSet
+
+__all__ = [
+    "CacheLine",
+    "CacheSet",
+    "LEVEL_L1",
+    "LEVEL_L2",
+    "LEVEL_LLC",
+    "LEVEL_MEMORY",
+    "LastLevelCache",
+    "NO_PC_SLOT",
+    "PrivateHierarchy",
+    "SetAssociativeCache",
+    "make_private_cache",
+]

@@ -1,0 +1,58 @@
+"""Cache line bookkeeping.
+
+A :class:`CacheLine` is a mutable record of one way of one set.  It is
+deliberately a ``__slots__`` class rather than a dataclass: the simulator
+allocates one per way at construction and mutates it on the hot path, and
+attribute access on slots is measurably faster than on dict-backed
+instances.
+"""
+
+from __future__ import annotations
+
+#: Sentinel PC slot meaning "not brought in by a tracked candidate PC".
+NO_PC_SLOT = -1
+
+
+class CacheLine:
+    """One way of a cache set.
+
+    Attributes:
+        valid: whether the slot holds a line.
+        tag: tag of the held line (meaningless when invalid).
+        dirty: set by write hits/fills; drives writeback counting.
+        core: id of the core whose access filled the line.
+        pc: program counter of the filling access (full value).
+        pc_slot: index of the filling PC in the NUcache candidate table,
+            or :data:`NO_PC_SLOT`.  Plain caches leave it untouched.
+    """
+
+    __slots__ = ("valid", "tag", "dirty", "core", "pc", "pc_slot")
+
+    def __init__(self) -> None:
+        self.valid = False
+        self.tag = 0
+        self.dirty = False
+        self.core = 0
+        self.pc = 0
+        self.pc_slot = NO_PC_SLOT
+
+    def fill(self, tag: int, core: int, pc: int, dirty: bool) -> None:
+        """Install a new line into this slot."""
+        self.valid = True
+        self.tag = tag
+        self.dirty = dirty
+        self.core = core
+        self.pc = pc
+        self.pc_slot = NO_PC_SLOT
+
+    def invalidate(self) -> None:
+        """Drop the held line."""
+        self.valid = False
+        self.dirty = False
+        self.pc_slot = NO_PC_SLOT
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not self.valid:
+            return "<line invalid>"
+        flags = "D" if self.dirty else "-"
+        return f"<line tag={self.tag:#x} core={self.core} pc={self.pc:#x} {flags}>"

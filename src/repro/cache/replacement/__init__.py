@@ -1,0 +1,89 @@
+"""Replacement policies for the cache substrate."""
+
+from repro.cache.replacement.base import PolicyFactory, RecencyStackPolicy, ReplacementPolicy
+from repro.cache.replacement.basic import (
+    FIFOPolicy,
+    LIPPolicy,
+    LRUPolicy,
+    NRUPolicy,
+    RandomPolicy,
+    TreePLRUPolicy,
+    fifo_factory,
+    lip_factory,
+    lru_factory,
+    nru_factory,
+    plru_factory,
+    random_factory,
+)
+from repro.cache.replacement.dip import (
+    BIPPolicy,
+    DuelingInsertionPolicy,
+    bip_factory,
+    dip_factory,
+    tadip_factory,
+)
+from repro.cache.replacement.dueling import (
+    DuelRole,
+    DuelState,
+    SaturatingCounter,
+    assign_role,
+    policy_for,
+)
+from repro.cache.replacement.deadblock import (
+    DeadBlockPredictor,
+    SDBPPolicy,
+    sdbp_factory,
+)
+from repro.cache.replacement.ship import (
+    SHiPPolicy,
+    SignatureHitCounterTable,
+    ship_factory,
+)
+from repro.cache.replacement.rrip import (
+    BRRIPPolicy,
+    DRRIPPolicy,
+    SRRIPPolicy,
+    brrip_factory,
+    drrip_factory,
+    srrip_factory,
+)
+
+__all__ = [
+    "BIPPolicy",
+    "BRRIPPolicy",
+    "DRRIPPolicy",
+    "DuelRole",
+    "DuelState",
+    "DeadBlockPredictor",
+    "DuelingInsertionPolicy",
+    "FIFOPolicy",
+    "LIPPolicy",
+    "LRUPolicy",
+    "NRUPolicy",
+    "PolicyFactory",
+    "RandomPolicy",
+    "RecencyStackPolicy",
+    "ReplacementPolicy",
+    "SDBPPolicy",
+    "SHiPPolicy",
+    "SRRIPPolicy",
+    "SignatureHitCounterTable",
+    "SaturatingCounter",
+    "TreePLRUPolicy",
+    "assign_role",
+    "bip_factory",
+    "brrip_factory",
+    "dip_factory",
+    "drrip_factory",
+    "fifo_factory",
+    "lip_factory",
+    "lru_factory",
+    "nru_factory",
+    "plru_factory",
+    "policy_for",
+    "random_factory",
+    "sdbp_factory",
+    "ship_factory",
+    "srrip_factory",
+    "tadip_factory",
+]

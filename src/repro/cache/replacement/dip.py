@@ -1,0 +1,111 @@
+"""BIP, DIP and TADIP-F insertion policies.
+
+* **BIP** (bimodal insertion) inserts at LRU except with a small
+  probability ``1/32`` at MRU, preserving a trickle of long-lived lines
+  in thrashing workloads.
+* **DIP** (dynamic insertion) set-duels LRU against BIP with one PSEL.
+* **TADIP-F** (thread-aware DIP with feedback) runs one duel *per core*:
+  each core's insertions independently choose LRU or BIP according to
+  that core's PSEL, trained on per-core leader sets.  This is the
+  shared-cache baseline the NUcache paper compares against.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.cache.replacement.base import PolicyFactory, RecencyStackPolicy
+from repro.cache.replacement.dueling import DuelRole, DuelState, assign_role, policy_for
+from repro.common.rng import derive_seed
+
+#: BIP's bimodal throttle: probability of an MRU insertion.
+BIP_EPSILON = 1.0 / 32.0
+
+
+class BIPPolicy(RecencyStackPolicy):
+    """Bimodal insertion: MRU with probability epsilon, else LRU."""
+
+    name = "bip"
+
+    def __init__(self, ways: int, seed: int = 0, epsilon: float = BIP_EPSILON) -> None:
+        super().__init__(ways)
+        self._rng = random.Random(seed)
+        self._epsilon = epsilon
+
+    def insert(self, way: int, core: int, pc: int = 0) -> None:
+        if self._rng.random() < self._epsilon:
+            self.place(way, 0)
+        else:
+            self.place(way, self.ways - 1)
+
+
+class DuelingInsertionPolicy(RecencyStackPolicy):
+    """Per-set half of a DIP/TADIP duel between LRU and BIP insertion.
+
+    The shared :class:`DuelState` is handed in by the factory; this class
+    only knows its own role and performs the insertion dictated by
+    :func:`policy_for` for the inserting core.
+    """
+
+    name = "dip"
+
+    def __init__(
+        self,
+        ways: int,
+        role: DuelRole,
+        state: DuelState,
+        seed: int = 0,
+        thread_aware: bool = False,
+        epsilon: float = BIP_EPSILON,
+    ) -> None:
+        super().__init__(ways)
+        self._role = role
+        self._state = state
+        self._rng = random.Random(seed)
+        self._thread_aware = thread_aware
+        self._epsilon = epsilon
+
+    def insert(self, way: int, core: int, pc: int = 0) -> None:
+        owner = core if self._thread_aware else 0
+        if self._is_trainer(owner):
+            self._state.record_leader_miss(self._role)
+        use_bip = policy_for(self._role, self._state, owner)
+        if use_bip and self._rng.random() >= self._epsilon:
+            self.place(way, self.ways - 1)
+        else:
+            self.place(way, 0)
+
+    def _is_trainer(self, owner: int) -> bool:
+        """A leader set trains its PSEL only on its owner's misses."""
+        return self._role.kind != "follower" and owner == self._role.owner
+
+
+def bip_factory(seed: int = 0) -> PolicyFactory:
+    """Factory producing per-set BIP policies."""
+    return lambda ways, set_index: BIPPolicy(ways, derive_seed(seed, f"bip-set{set_index}"))
+
+
+def dip_factory(seed: int = 0, psel_bits: int = 10) -> PolicyFactory:
+    """Factory producing a DIP cache: one duel, LRU vs BIP."""
+    state = DuelState(num_owners=1, psel_bits=psel_bits)
+
+    def factory(ways: int, set_index: int) -> DuelingInsertionPolicy:
+        role = assign_role(set_index, num_owners=1)
+        return DuelingInsertionPolicy(
+            ways, role, state, derive_seed(seed, f"dip-set{set_index}"), thread_aware=False
+        )
+
+    return factory
+
+
+def tadip_factory(num_cores: int, seed: int = 0, psel_bits: int = 10) -> PolicyFactory:
+    """Factory producing a TADIP-F cache: one LRU-vs-BIP duel per core."""
+    state = DuelState(num_owners=num_cores, psel_bits=psel_bits)
+
+    def factory(ways: int, set_index: int) -> DuelingInsertionPolicy:
+        role = assign_role(set_index, num_owners=num_cores)
+        return DuelingInsertionPolicy(
+            ways, role, state, derive_seed(seed, f"tadip-set{set_index}"), thread_aware=True
+        )
+
+    return factory

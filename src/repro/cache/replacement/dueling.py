@@ -1,0 +1,120 @@
+"""Set-dueling infrastructure shared by DIP, TADIP-F and DRRIP.
+
+Set dueling (Qureshi+, ISCA'07) dedicates a few *leader* sets to each of
+two competing policies and lets the remaining *follower* sets adopt
+whichever leader currently misses less, tracked by a saturating policy
+selector (PSEL): a miss in a policy-A leader nudges PSEL one way, a miss
+in a policy-B leader nudges it the other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+class SaturatingCounter:
+    """An n-bit saturating counter with a mid-point decision threshold."""
+
+    def __init__(self, bits: int = 10) -> None:
+        if bits <= 1:
+            raise ValueError(f"counter needs at least 2 bits, got {bits}")
+        self.max_value = (1 << bits) - 1
+        self.value = 1 << (bits - 1)
+
+    def increment(self) -> None:
+        """Saturating increment."""
+        if self.value < self.max_value:
+            self.value += 1
+
+    def decrement(self) -> None:
+        """Saturating decrement."""
+        if self.value > 0:
+            self.value -= 1
+
+    @property
+    def msb_set(self) -> bool:
+        """True when the counter is in its upper half."""
+        return self.value > self.max_value // 2
+
+
+#: Roles a set can play in a duel.
+FOLLOWER = "follower"
+LEADER_PRIMARY = "leader-primary"    # dedicated to the baseline policy
+LEADER_ALTERNATE = "leader-alternate"  # dedicated to the challenger
+
+
+@dataclass(frozen=True)
+class DuelRole:
+    """Role of one set: which policy it is dedicated to, and for whom.
+
+    ``owner`` is the core whose PSEL this leader set trains (always 0 for
+    single-selector duels such as DIP/DRRIP).
+    """
+
+    kind: str
+    owner: int = 0
+
+
+def assign_role(set_index: int, num_owners: int = 1, period: int = 64) -> DuelRole:
+    """Static leader-set assignment.
+
+    Every ``period`` consecutive sets contain one primary leader (offset
+    0) and one alternate leader (offset ``period // 2``); ownership
+    rotates over ``num_owners`` so each owner gets an equal share of
+    leader sets of both kinds.  All other sets are followers.
+    """
+    if period < 2:
+        raise ValueError(f"period must be >= 2, got {period}")
+    offset = set_index % period
+    group = set_index // period
+    if offset == 0:
+        return DuelRole(LEADER_PRIMARY, group % num_owners)
+    if offset == period // 2:
+        return DuelRole(LEADER_ALTERNATE, group % num_owners)
+    return DuelRole(FOLLOWER)
+
+
+class DuelState:
+    """Shared PSEL bank for one duel, one counter per owner.
+
+    Convention: a miss in a *primary* leader increments the owner's PSEL
+    (evidence against the primary policy), a miss in an *alternate*
+    leader decrements it.  ``prefer_alternate`` is True when the
+    challenger is currently winning for that owner.
+    """
+
+    def __init__(self, num_owners: int = 1, psel_bits: int = 10) -> None:
+        if num_owners <= 0:
+            raise ValueError(f"num_owners must be positive, got {num_owners}")
+        self._counters = [SaturatingCounter(psel_bits) for _ in range(num_owners)]
+
+    def record_leader_miss(self, role: DuelRole) -> None:
+        """Update the owner's PSEL after a miss in a leader set."""
+        if role.kind == LEADER_PRIMARY:
+            self._counters[role.owner].increment()
+        elif role.kind == LEADER_ALTERNATE:
+            self._counters[role.owner].decrement()
+
+    def prefer_alternate(self, owner: int = 0) -> bool:
+        """Should followers of ``owner`` use the alternate policy?"""
+        return self._counters[owner].msb_set
+
+    def counter_value(self, owner: int = 0) -> int:
+        """Raw PSEL value, for inspection in tests and reports."""
+        return self._counters[owner].value
+
+
+def policy_for(role: DuelRole, state: DuelState, owner: Optional[int] = None) -> bool:
+    """Decide whether to apply the *alternate* policy for an access.
+
+    Leader sets are pinned to their dedicated policy for their owner;
+    any other requester in a leader set, and everyone in follower sets,
+    follows its own PSEL (the "-F" feedback refinement of TADIP).
+    """
+    requester = role.owner if owner is None else owner
+    if role.kind == LEADER_PRIMARY and requester == role.owner:
+        return False
+    if role.kind == LEADER_ALTERNATE and requester == role.owner:
+        return True
+    return state.prefer_alternate(requester)

@@ -1,0 +1,78 @@
+"""One set of a set-associative cache.
+
+The set owns its :class:`~repro.cache.line.CacheLine` slots, a
+tag-to-way index for O(1) lookup, and a per-set replacement policy.
+It knows nothing about addresses, statistics or hierarchy — the owning
+cache handles those.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from repro.cache.line import CacheLine
+from repro.cache.replacement.base import ReplacementPolicy
+
+
+class CacheSet:
+    """The ways of one set plus their replacement state."""
+
+    __slots__ = ("lines", "policy", "_tag_to_way", "_free_ways")
+
+    def __init__(self, ways: int, policy: ReplacementPolicy) -> None:
+        self.lines = [CacheLine() for _ in range(ways)]
+        self.policy = policy
+        self._tag_to_way: dict = {}
+        # Invalid ways are consumed highest-first so pop() is O(1).
+        self._free_ways = list(range(ways - 1, -1, -1))
+
+    def find(self, tag: int) -> int:
+        """Way currently holding ``tag``, or -1."""
+        return self._tag_to_way.get(tag, -1)
+
+    def touch(self, way: int, core: int, is_write: bool) -> None:
+        """Record a hit on ``way``."""
+        self.policy.touch(way, core)
+        if is_write:
+            self.lines[way].dirty = True
+
+    def allocate(
+        self, tag: int, core: int, pc: int, is_write: bool
+    ) -> Optional[Tuple[int, bool]]:
+        """Fill ``tag`` into the set, evicting if necessary.
+
+        Returns:
+            ``(evicted_tag, evicted_dirty)`` when a valid line was
+            displaced, else ``None``.
+        """
+        evicted: Optional[Tuple[int, bool]] = None
+        if self._free_ways:
+            way = self._free_ways.pop()
+        else:
+            way = self.policy.victim()
+            victim_line = self.lines[way]
+            evicted = (victim_line.tag, victim_line.dirty)
+            del self._tag_to_way[victim_line.tag]
+        self.lines[way].fill(tag, core, pc, is_write)
+        self._tag_to_way[tag] = way
+        self.policy.insert(way, core, pc)
+        return evicted
+
+    def invalidate(self, tag: int) -> bool:
+        """Drop ``tag`` from the set; returns whether it was present."""
+        way = self._tag_to_way.pop(tag, None)
+        if way is None:
+            return False
+        self.lines[way].invalidate()
+        self.policy.invalidate(way)
+        self._free_ways.append(way)
+        return True
+
+    @property
+    def occupancy(self) -> int:
+        """Number of valid lines in the set."""
+        return len(self._tag_to_way)
+
+    def valid_lines(self) -> Iterator[CacheLine]:
+        """Iterate the valid lines (unspecified order)."""
+        return (line for line in self.lines if line.valid)

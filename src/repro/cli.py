@@ -1,0 +1,167 @@
+"""Command-line interface: ``nucache-repro``.
+
+Subcommands::
+
+    nucache-repro list                 # list experiments and workloads
+    nucache-repro run fig5 [fig6 ...]  # run experiments, print tables
+    nucache-repro run all              # run every experiment
+    nucache-repro sim --mix mix4_1 --policy nucache   # one simulation
+    nucache-repro characterize art_like               # reuse-distance report
+    nucache-repro trace art_like -o art.trace         # export a trace
+
+Trace lengths can be scaled globally with the ``REPRO_SCALE``
+environment variable (e.g. ``REPRO_SCALE=0.5`` for half-length traces).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import experiment_ids, run_experiment
+from repro.metrics.multicore import weighted_speedup
+from repro.sim.policies import policy_names
+from repro.sim.runner import DEFAULT_ACCESSES, alone_ipc, run_mix, run_single
+from repro.workloads.mixes import all_mixes, mix_members
+from repro.workloads.spec_like import catalog
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("experiments:")
+    for experiment_id in experiment_ids():
+        print(f"  {experiment_id}")
+    print("\npolicies:")
+    print("  " + ", ".join(policy_names()))
+    print("\nbenchmarks:")
+    for name, klass, _spec in catalog():
+        print(f"  {name:<18} [{klass}]")
+    print("\nmixes:")
+    for cores, names in all_mixes().items():
+        print(f"  {cores}-core: " + ", ".join(names))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    requested = args.experiments
+    if requested == ["all"]:
+        requested = experiment_ids()
+    for experiment_id in requested:
+        result = run_experiment(experiment_id)
+        if args.bars:
+            from repro.experiments.plots import render_with_bars
+
+            print(render_with_bars(result))
+        else:
+            print(result.to_text())
+        print()
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    from repro.analysis.characterize import characterize_benchmark
+
+    character = characterize_benchmark(args.benchmark, args.accesses)
+    print(character.describe())
+    for pc, share in character.pc_access_shares:
+        print(f"  pc {pc:#x}: {share:.1%} of accesses")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.workloads.spec_like import benchmark as lookup
+    from repro.workloads.synthetic import generate_trace
+    from repro.workloads.textio import save_text
+
+    trace = generate_trace(lookup(args.benchmark), args.accesses, args.seed)
+    if args.output.endswith(".npz"):
+        trace.save(args.output)
+    else:
+        save_text(trace, args.output)
+    print(f"wrote {len(trace)} accesses to {args.output}")
+    return 0
+
+
+def _cmd_sim(args: argparse.Namespace) -> int:
+    if args.mix:
+        members = mix_members(args.mix)
+        result = run_mix(args.mix, args.policy, args.accesses)
+        alone = [alone_ipc(name, len(members), args.accesses) for name in members]
+        print(f"mix {args.mix} under {args.policy}:")
+        for core, name in zip(result.cores, members):
+            print(
+                f"  core {core.core_id} {name:<18} ipc={core.ipc:.4f} "
+                f"mpki={core.mpki:.2f} llc_hit={core.llc_hit_rate:.3f}"
+            )
+        print(f"  weighted speedup = {weighted_speedup(result.ipcs, alone):.4f}")
+    else:
+        result = run_single(args.benchmark, args.policy, args.accesses)
+        core = result.cores[0]
+        print(
+            f"{args.benchmark} under {args.policy}: ipc={core.ipc:.4f} "
+            f"mpki={core.mpki:.2f} llc_hit={core.llc_hit_rate:.3f}"
+        )
+    if result.llc_extra:
+        print(f"  llc extra: {result.llc_extra}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="nucache-repro",
+        description="NUcache (HPCA 2011) reproduction harness",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list", help="list experiments and workloads")
+    list_parser.set_defaults(func=_cmd_list)
+
+    run_parser = subparsers.add_parser("run", help="run experiments")
+    run_parser.add_argument(
+        "experiments", nargs="+",
+        help="experiment ids (see 'list'), or 'all'",
+    )
+    run_parser.add_argument(
+        "--bars", action="store_true",
+        help="append an automatic bar chart per experiment",
+    )
+    run_parser.set_defaults(func=_cmd_run)
+
+    sim_parser = subparsers.add_parser("sim", help="run one simulation")
+    group = sim_parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--mix", help="mix name (e.g. mix4_1)")
+    group.add_argument("--benchmark", help="benchmark name (e.g. art_like)")
+    sim_parser.add_argument("--policy", default="nucache", choices=policy_names())
+    sim_parser.add_argument("--accesses", type=int, default=DEFAULT_ACCESSES)
+    sim_parser.set_defaults(func=_cmd_sim)
+
+    char_parser = subparsers.add_parser(
+        "characterize", help="reuse-distance characterization of a benchmark"
+    )
+    char_parser.add_argument("benchmark")
+    char_parser.add_argument("--accesses", type=int, default=50_000)
+    char_parser.set_defaults(func=_cmd_characterize)
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="generate and export a benchmark trace"
+    )
+    trace_parser.add_argument("benchmark")
+    trace_parser.add_argument(
+        "-o", "--output", required=True,
+        help="output path (.npz for native, anything else for text)",
+    )
+    trace_parser.add_argument("--accesses", type=int, default=DEFAULT_ACCESSES)
+    trace_parser.add_argument("--seed", type=int, default=20110212)
+    trace_parser.set_defaults(func=_cmd_trace)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Shared substrate: addresses, configs, RNG, stats, errors."""
+
+from repro.common.addr import (
+    block_address,
+    is_power_of_two,
+    log2_exact,
+    rebuild_block_address,
+    set_index,
+    tag_of,
+)
+from repro.common.config import (
+    CacheGeometry,
+    LatencyConfig,
+    NUcacheConfig,
+    SystemConfig,
+    config_table,
+    paper_llc_geometry,
+    paper_system_config,
+    tiny_system_config,
+)
+from repro.common.errors import (
+    ConfigError,
+    ExperimentError,
+    ReproError,
+    SimulationError,
+    TraceError,
+    WorkloadError,
+)
+from repro.common.rng import DEFAULT_SEED, derive_seed, make_rng
+from repro.common.stats import AccessStats, SharedCacheStats
+
+__all__ = [
+    "AccessStats",
+    "CacheGeometry",
+    "ConfigError",
+    "DEFAULT_SEED",
+    "ExperimentError",
+    "LatencyConfig",
+    "NUcacheConfig",
+    "ReproError",
+    "SharedCacheStats",
+    "SimulationError",
+    "SystemConfig",
+    "TraceError",
+    "WorkloadError",
+    "block_address",
+    "config_table",
+    "derive_seed",
+    "is_power_of_two",
+    "log2_exact",
+    "make_rng",
+    "paper_llc_geometry",
+    "paper_system_config",
+    "rebuild_block_address",
+    "set_index",
+    "tag_of",
+    "tiny_system_config",
+]

@@ -1,0 +1,46 @@
+"""Address arithmetic helpers.
+
+Addresses throughout the library are plain Python ints (byte addresses).
+Caches operate on *block* addresses — the byte address with the block
+offset stripped — and split a block address into a set index and a tag.
+All functions here are pure and branch-free so they are cheap on the
+simulator's hot path.
+"""
+
+from __future__ import annotations
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return ``True`` iff ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_exact(value: int) -> int:
+    """Return ``log2(value)`` for an exact power of two.
+
+    Raises:
+        ValueError: if ``value`` is not a positive power of two.
+    """
+    if not is_power_of_two(value):
+        raise ValueError(f"expected a power of two, got {value}")
+    return value.bit_length() - 1
+
+
+def block_address(byte_addr: int, block_bytes: int) -> int:
+    """Strip the block offset, yielding the block-aligned address."""
+    return byte_addr >> log2_exact(block_bytes)
+
+
+def set_index(block_addr: int, num_sets: int) -> int:
+    """Set index of a block address for a ``num_sets``-set cache."""
+    return block_addr & (num_sets - 1)
+
+
+def tag_of(block_addr: int, num_sets: int) -> int:
+    """Tag of a block address for a ``num_sets``-set cache."""
+    return block_addr >> log2_exact(num_sets)
+
+
+def rebuild_block_address(tag: int, index: int, num_sets: int) -> int:
+    """Inverse of (:func:`set_index`, :func:`tag_of`)."""
+    return (tag << log2_exact(num_sets)) | index

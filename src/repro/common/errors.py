@@ -1,0 +1,42 @@
+"""Exception hierarchy for the NUcache reproduction.
+
+Every error raised on purpose by this library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigError(ReproError):
+    """A configuration object is internally inconsistent.
+
+    Raised eagerly when a config dataclass is constructed (all configs
+    validate in ``__post_init__``) so that a bad geometry never reaches the
+    simulator.
+    """
+
+
+class TraceError(ReproError):
+    """A trace is malformed, empty, or inconsistent with its metadata."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached a state that should be impossible.
+
+    This indicates a bug in a policy or in the engine rather than bad user
+    input; it is still raised as a library error so test harnesses can
+    report it cleanly.
+    """
+
+
+class WorkloadError(ReproError):
+    """A workload or mix was requested that the catalog does not define."""
+
+
+class ExperimentError(ReproError):
+    """An experiment driver was invoked with unusable parameters."""

@@ -1,0 +1,72 @@
+"""Lightweight statistics counters used across the simulator.
+
+The simulator's hot path increments plain integer attributes on these
+objects; aggregation and derived quantities (rates, MPKI) live in
+``repro.metrics``.  Keeping raw counts here and derivations elsewhere
+ensures no information is lost between a run and its analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class AccessStats:
+    """Hit/miss counters for one cache (optionally split per requestor)."""
+
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses observed."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per access; 0.0 for an untouched cache."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses per access; 0.0 for an untouched cache."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def merge(self, other: "AccessStats") -> None:
+        """Accumulate ``other`` into this counter bundle."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.writebacks += other.writebacks
+        self.evictions += other.evictions
+
+    def snapshot(self) -> "AccessStats":
+        """Return an independent copy of the current counts."""
+        return AccessStats(self.hits, self.misses, self.writebacks, self.evictions)
+
+
+@dataclass
+class SharedCacheStats:
+    """Per-core breakdown of a shared cache's traffic."""
+
+    total: AccessStats = field(default_factory=AccessStats)
+    per_core: Dict[int, AccessStats] = field(default_factory=dict)
+
+    def record(self, core: int, hit: bool) -> None:
+        """Record one access by ``core``."""
+        core_stats = self.per_core.get(core)
+        if core_stats is None:
+            core_stats = self.per_core.setdefault(core, AccessStats())
+        if hit:
+            self.total.hits += 1
+            core_stats.hits += 1
+        else:
+            self.total.misses += 1
+            core_stats.misses += 1
+
+    def core_stats(self, core: int) -> AccessStats:
+        """Counters for one core (zeros if the core never accessed)."""
+        return self.per_core.get(core, AccessStats())

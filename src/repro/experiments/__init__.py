@@ -1,0 +1,82 @@
+"""Experiment drivers: one module per table/figure of the evaluation."""
+
+from typing import Callable, Dict, List
+
+from repro.common.errors import ExperimentError
+from repro.experiments import (
+    fig1_delinquent_pcs,
+    fig2_nextuse_cdf,
+    fig3_single_core,
+    fig4_deliway_sweep,
+    fig567_multicore,
+    fig8_vs_partitioning,
+    fig9_selection_ablation,
+    fig10_hardware_ablations,
+    fig11_pc_policies,
+    fig12_prefetch,
+    fig13_bandwidth,
+    fig14_phases,
+    fig15_llc_size,
+    table1_config,
+    table3_fairness,
+    table5_seeds,
+    table2_overhead,
+)
+from repro.experiments.base import ExperimentResult, render_table, scaled_accesses
+from repro.experiments.harness import mix_weighted_speedups, multicore_comparison
+from repro.experiments.plots import bar_chart, render_with_bars, result_bars, sparkline
+
+#: Registry mapping experiment ids to zero-argument runners.
+EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
+    "table1": table1_config.run,
+    "fig1": fig1_delinquent_pcs.run,
+    "fig2": fig2_nextuse_cdf.run,
+    "fig3": fig3_single_core.run,
+    "fig4": fig4_deliway_sweep.run,
+    "fig5": fig567_multicore.run_fig5,
+    "fig6": fig567_multicore.run_fig6,
+    "fig7": fig567_multicore.run_fig7,
+    "fig8": fig8_vs_partitioning.run,
+    "fig9": fig9_selection_ablation.run,
+    "fig10": fig10_hardware_ablations.run,
+    "fig11": fig11_pc_policies.run,
+    "fig12": fig12_prefetch.run,
+    "fig13": fig13_bandwidth.run,
+    "fig14": fig14_phases.run,
+    "fig15": fig15_llc_size.run,
+    "table2": table2_overhead.run,
+    "table3": table3_fairness.run,
+    "table5": table5_seeds.run,
+}
+
+
+def experiment_ids() -> List[str]:
+    """All experiment ids in presentation order."""
+    return list(EXPERIMENTS)
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    """Run one experiment by id."""
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: {', '.join(EXPERIMENTS)}"
+        ) from None
+    return runner()
+
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "bar_chart",
+    "experiment_ids",
+    "mix_weighted_speedups",
+    "multicore_comparison",
+    "render_table",
+    "render_with_bars",
+    "result_bars",
+    "run_experiment",
+    "scaled_accesses",
+    "sparkline",
+]

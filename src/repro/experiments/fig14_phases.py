@@ -1,0 +1,121 @@
+"""Fig. 14 — adaptivity to program phases (extension).
+
+Real programs change their delinquent PCs across phases.  This
+experiment builds a phased workload that alternates between two
+delinquent "personalities" (different loop regions driven by different
+PCs, each under its own streaming traffic) and measures how well the
+epoch mechanism tracks the change:
+
+* **LRU** — the baseline; thrashes in every phase.
+* **NUcache (default epochs)** — must drop the stale PC and select the
+  new one shortly after each phase change.
+* **NUcache (one giant epoch)** — selection frozen after the first
+  decision; pays for staleness in every later phase.
+
+The gap between the last two is the value of re-selection.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.config import paper_system_config
+from repro.common.rng import DEFAULT_SEED
+from repro.experiments.base import ExperimentResult, scaled_accesses
+from repro.sim.engine import MulticoreEngine
+from repro.sim.memory import FixedLatencyMemory
+from repro.sim.policies import make_llc
+from repro.workloads.synthetic import BenchmarkSpec, StreamSpec, generate_trace
+from repro.workloads.textio import concatenate
+
+EXPERIMENT_ID = "fig14"
+TITLE = "Phase adaptivity: re-selection across alternating delinquent phases"
+DEFAULT_ACCESSES = 160_000
+NUM_PHASES = 4
+
+KB = 1024
+MB = 1024 * KB
+
+
+def _personality(tag: str) -> BenchmarkSpec:
+    """One phase's behaviour: a capturable loop under its own stream.
+
+    ``tag`` varies the name so the two personalities draw different RNG
+    streams (disjoint regions and PCs come from their stream indices
+    *and* the differing generation seeds derived from the name).
+    """
+    return BenchmarkSpec(
+        f"phase_{tag}",
+        (
+            StreamSpec("loop", region_bytes=112 * KB, weight=0.30, num_pcs=1),
+            StreamSpec("loop", region_bytes=64 * MB, weight=0.55, num_pcs=1),
+            StreamSpec("hot", region_bytes=8 * KB, weight=0.15),
+        ),
+        instruction_gap=2,
+    )
+
+
+def _phased_trace(accesses: int, seed: int):
+    """Alternate the two personalities over NUM_PHASES phases."""
+    phase_length = accesses // NUM_PHASES
+    phases: List = []
+    for index in range(NUM_PHASES):
+        spec = _personality("a" if index % 2 == 0 else "b")
+        trace = generate_trace(spec, phase_length, seed + index % 2)
+        # Relocate personality b so its regions and PCs are disjoint.
+        if index % 2 == 1:
+            trace = trace.relocated(1, tag_shift=45)
+        phases.append(trace)
+    return concatenate(phases, name="phased")
+
+
+def _run(trace, policy: str, seed: int, **overrides: object) -> float:
+    config = paper_system_config(1, **overrides)
+    llc = make_llc(policy, config, seed)
+    engine = MulticoreEngine(
+        (trace,), llc, config, FixedLatencyMemory(config.latency.memory),
+        warmup_fraction=0.1,
+    )
+    return engine.run().cores[0].ipc
+
+
+def run(accesses: int = DEFAULT_ACCESSES, seed: int = DEFAULT_SEED) -> ExperimentResult:
+    """Run the phased workload under the three configurations."""
+    accesses = scaled_accesses(accesses)
+    trace = _phased_trace(accesses, seed)
+    lru_ipc = _run(trace, "lru", seed)
+    adaptive_ipc = _run(trace, "nucache", seed)
+    frozen_ipc = _run(trace, "nucache", seed, epoch_misses=100_000_000)
+    rows = [
+        {"configuration": "lru", "ipc": round(lru_ipc, 4), "vs_lru": 1.0},
+        {
+            "configuration": "nucache (default epochs)",
+            "ipc": round(adaptive_ipc, 4),
+            "vs_lru": round(adaptive_ipc / lru_ipc, 4),
+        },
+        {
+            "configuration": "nucache (selection frozen)",
+            "ipc": round(frozen_ipc, 4),
+            "vs_lru": round(frozen_ipc / lru_ipc, 4),
+        },
+    ]
+    summary = {
+        "adaptive_vs_frozen": adaptive_ipc / frozen_ipc if frozen_ipc else 0.0,
+    }
+    notes = (
+        f"{NUM_PHASES} phases alternating two disjoint delinquent "
+        "personalities.  Shape target: adaptive NUcache beats LRU in "
+        "every phase and beats the frozen-selection variant overall — "
+        "the epoch mechanism, not a one-shot decision, carries the "
+        "mechanism through phase changes."
+    )
+    return ExperimentResult(EXPERIMENT_ID, TITLE, rows, notes, summary)
+
+
+def main() -> None:
+    """Print the figure's data."""
+    print(run().to_text())
+
+
+if __name__ == "__main__":
+    main()

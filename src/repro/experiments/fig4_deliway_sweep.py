@@ -1,0 +1,67 @@
+"""Fig. 4 — sensitivity to the MainWays/DeliWays split.
+
+With total associativity fixed at 16, sweep the number of DeliWays.
+Zero DeliWays is plain 16-way LRU; more DeliWays grow the retention
+capacity at the expense of LRU-managed MainWays.  The paper's point is
+that the mechanism is not knife-edge sensitive to the split; in this
+reproduction gains rise to a plateau and friendly controls stay at
+parity across the sweep.  (The falling edge at extreme splits is a
+*robustness* effect — with 2 MainWays a program whose PCs fail to be
+selected would run on a 2-way cache — which a working selector hides;
+see EXPERIMENTS.md.)
+"""
+
+from __future__ import annotations
+
+from repro.common.rng import DEFAULT_SEED
+from repro.experiments.base import ExperimentResult, scaled_accesses
+from repro.metrics.multicore import geometric_mean
+from repro.sim.runner import run_single
+
+EXPERIMENT_ID = "fig4"
+TITLE = "IPC vs number of DeliWays (16-way LLC, single core)"
+DEFAULT_ACCESSES = 150_000
+DELI_SWEEP = (0, 2, 4, 6, 8, 10, 12, 14)
+#: Representative benchmarks: the delinquent class plus one friendly
+#: control that must stay flat.
+BENCHMARKS = (
+    "art_like", "ammp_like", "soplex_like", "equake_like",
+    "twolf_like", "gcc_like",
+)
+
+
+def run(accesses: int = DEFAULT_ACCESSES, seed: int = DEFAULT_SEED) -> ExperimentResult:
+    """Sweep deli_ways for the representative benchmarks."""
+    accesses = scaled_accesses(accesses)
+    rows = []
+    per_split = {deli: [] for deli in DELI_SWEEP}
+    for name in BENCHMARKS:
+        baseline_ipc = run_single(name, "lru", accesses, seed).cores[0].ipc
+        row: dict = {"benchmark": name, "lru_ipc": round(baseline_ipc, 4)}
+        for deli in DELI_SWEEP:
+            result = run_single(name, "nucache", accesses, seed, deli_ways=deli)
+            relative = result.cores[0].ipc / baseline_ipc if baseline_ipc else 1.0
+            row[f"D={deli}"] = round(relative, 4)
+            per_split[deli].append(relative)
+        rows.append(row)
+    gmean_row: dict = {"benchmark": "gmean", "lru_ipc": ""}
+    for deli in DELI_SWEEP:
+        gmean_row[f"D={deli}"] = round(geometric_mean(per_split[deli]), 4)
+    rows.append(gmean_row)
+    notes = (
+        "Cells are IPC normalized to 16-way LRU.  Shape target: D=0 is "
+        "1.0 by construction-equivalence; gains rise to a plateau with "
+        "the default split (D=8) capturing most of the benefit; the "
+        "friendly controls (twolf, gcc) stay near parity at every "
+        "split (within ~5% even at the extreme D=14)."
+    )
+    return ExperimentResult(EXPERIMENT_ID, TITLE, rows, notes)
+
+
+def main() -> None:
+    """Print the figure's data."""
+    print(run().to_text())
+
+
+if __name__ == "__main__":
+    main()

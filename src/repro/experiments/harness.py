@@ -1,0 +1,80 @@
+"""Shared machinery for the experiment drivers.
+
+The multicore figures all follow the same recipe: run every mix of a
+core count under a set of LLC policies, normalize each policy's weighted
+speedup to the LRU baseline, and report per-mix rows plus a geometric
+mean.  This module implements that recipe once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.common.rng import DEFAULT_SEED
+from repro.metrics.multicore import geometric_mean, weighted_speedup
+from repro.sim.runner import alone_ipc, run_mix
+from repro.workloads.mixes import mix_members, mix_names
+
+
+def mix_weighted_speedups(
+    mix_name: str,
+    policies: Sequence[str],
+    accesses: int,
+    seed: int = DEFAULT_SEED,
+) -> Dict[str, float]:
+    """Weighted speedup of one mix under each policy.
+
+    The alone-IPC denominators use LRU on the full shared LLC, shared by
+    every policy (the standard convention, and what makes the headline
+    "X% over baseline" comparable across policies).
+    """
+    members = mix_members(mix_name)
+    alone = [alone_ipc(name, len(members), accesses, seed) for name in members]
+    speedups: Dict[str, float] = {}
+    for policy in policies:
+        result = run_mix(mix_name, policy, accesses, seed)
+        speedups[policy] = weighted_speedup(result.ipcs, alone)
+    return speedups
+
+
+def multicore_comparison(
+    num_cores: int,
+    policies: Sequence[str],
+    accesses: int,
+    seed: int = DEFAULT_SEED,
+    baseline: str = "lru",
+) -> List[Dict[str, object]]:
+    """Per-mix weighted speedups for a core count, plus a gmean row.
+
+    Each row carries the raw weighted speedup per policy and, for every
+    non-baseline policy, a ``<policy>_vs_<baseline>`` relative
+    improvement.  The final row holds geometric means over mixes.
+    """
+    if baseline not in policies:
+        raise ValueError(f"baseline {baseline!r} must be among policies {policies}")
+    rows: List[Dict[str, object]] = []
+    per_policy: Dict[str, List[float]] = {policy: [] for policy in policies}
+    for mix_name in mix_names(num_cores):
+        speedups = mix_weighted_speedups(mix_name, policies, accesses, seed)
+        row: Dict[str, object] = {"mix": mix_name}
+        for policy in policies:
+            row[f"ws_{policy}"] = round(speedups[policy], 4)
+            per_policy[policy].append(speedups[policy])
+        for policy in policies:
+            if policy != baseline:
+                row[f"{policy}_vs_{baseline}"] = round(
+                    speedups[policy] / speedups[baseline] - 1.0, 4
+                )
+        rows.append(row)
+
+    gmean_row: Dict[str, object] = {"mix": "gmean"}
+    base_gmean = geometric_mean(per_policy[baseline])
+    for policy in policies:
+        policy_gmean = geometric_mean(per_policy[policy])
+        gmean_row[f"ws_{policy}"] = round(policy_gmean, 4)
+        if policy != baseline:
+            gmean_row[f"{policy}_vs_{baseline}"] = round(
+                policy_gmean / base_gmean - 1.0, 4
+            )
+    rows.append(gmean_row)
+    return rows

@@ -1,0 +1,131 @@
+"""Terminal plotting for experiment results.
+
+Pure-text rendering (no plotting dependency is available offline):
+horizontal bar charts for per-row values and simple sparkline-style
+series for sweeps.  Used by the CLI's ``--bars`` option and handy in
+notebooks/REPLs when eyeballing a sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.base import ExperimentResult
+
+#: Width of the bar area in characters.
+DEFAULT_WIDTH = 40
+#: Eight-level vertical resolution for sparklines.
+_SPARK_LEVELS = " .:-=+*#"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = DEFAULT_WIDTH,
+    reference: Optional[float] = None,
+) -> str:
+    """Render labelled horizontal bars.
+
+    Args:
+        labels: one label per bar.
+        values: bar lengths (non-negative scale is derived from data).
+        width: character budget for the longest bar.
+        reference: optional value marked with ``|`` inside each bar's
+            track (e.g. 1.0 for normalized results).
+    """
+    if len(labels) != len(values):
+        raise ValueError(
+            f"labels ({len(labels)}) and values ({len(values)}) differ in length"
+        )
+    if not labels:
+        return "(no data)"
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    top = max(max(values), reference if reference is not None else 0.0)
+    if top <= 0:
+        top = 1.0
+    label_width = max(len(str(label)) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        filled = max(0, min(width, round(width * value / top)))
+        track = ["#"] * filled + [" "] * (width - filled)
+        if reference is not None:
+            mark = max(0, min(width - 1, round(width * reference / top)))
+            track[mark] = "|"
+        lines.append(
+            f"{str(label).ljust(label_width)}  {''.join(track)}  {value:.4g}"
+        )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line sketch of a series (min..max mapped to 8 glyph levels)."""
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    if high == low:
+        return _SPARK_LEVELS[len(_SPARK_LEVELS) // 2] * len(values)
+    span = high - low
+    glyphs = []
+    for value in values:
+        level = int((value - low) / span * (len(_SPARK_LEVELS) - 1))
+        glyphs.append(_SPARK_LEVELS[level])
+    return "".join(glyphs)
+
+
+def result_bars(
+    result: ExperimentResult,
+    value_column: str,
+    label_column: Optional[str] = None,
+    reference: Optional[float] = None,
+    width: int = DEFAULT_WIDTH,
+) -> str:
+    """Bar chart of one numeric column of an experiment result.
+
+    Rows whose value cell is missing or non-numeric are skipped (e.g.
+    rows of another ablation in a combined table).
+    """
+    if label_column is None:
+        label_column = result.column_names()[0]
+    labels: List[str] = []
+    values: List[float] = []
+    for row in result.rows:
+        value = row.get(value_column)
+        if isinstance(value, (int, float)):
+            labels.append(str(row.get(label_column, "?")))
+            values.append(float(value))
+    if not labels:
+        return f"(no numeric values in column {value_column!r})"
+    header = f"{result.experiment_id}: {value_column}"
+    return header + "\n" + bar_chart(labels, values, width, reference)
+
+
+def guess_bar_column(result: ExperimentResult) -> Optional[str]:
+    """Pick a sensible default column to chart for a result.
+
+    Preference order: a ``*_vs_*`` relative column, then ``speedup``,
+    then any numeric column that is not the label.
+    """
+    names = result.column_names()
+    for name in names:
+        if "_vs_" in name:
+            return name
+    for name in ("speedup", "gain", "ipc"):
+        if name in names:
+            return name
+    for name in names[1:]:
+        if any(isinstance(row.get(name), (int, float)) for row in result.rows):
+            return name
+    return None
+
+
+def render_with_bars(result: ExperimentResult) -> str:
+    """The standard text table plus an automatic bar chart when one
+    of the columns lends itself to it."""
+    text = result.to_text()
+    column = guess_bar_column(result)
+    if column is None:
+        return text
+    reference = 1.0 if "speedup" in column or "ipc" in column else None
+    return text + "\n\n" + result_bars(result, column, reference=reference)

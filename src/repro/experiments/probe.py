@@ -1,0 +1,62 @@
+"""Measurement probes used by the characterization figures.
+
+These run ordinary simulations with a thin recording wrapper around the
+shared LLC — the software equivalent of attaching a logic analyzer, with
+no behavioural effect on the run.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List
+
+from repro.common.config import paper_system_config
+from repro.common.rng import DEFAULT_SEED
+from repro.nucache.nextuse import EpochProfile
+from repro.sim.engine import MulticoreEngine
+from repro.sim.memory import FixedLatencyMemory
+from repro.sim.policies import make_llc
+from repro.sim.runner import make_traces
+
+
+def llc_miss_profile(
+    benchmark_name: str, accesses: int, seed: int = DEFAULT_SEED
+) -> Counter:
+    """Per-PC LLC miss counts of a benchmark under baseline LRU."""
+    config = paper_system_config(1)
+    traces = make_traces([benchmark_name], accesses, seed)
+    llc = make_llc("lru", config, seed)
+    misses: Counter = Counter()
+    original_access = llc.access
+
+    def recording_access(block: int, core: int, pc: int, is_write: bool) -> bool:
+        hit = original_access(block, core, pc, is_write)
+        if not hit:
+            misses[pc] += 1
+        return hit
+
+    llc.access = recording_access  # type: ignore[method-assign]
+    MulticoreEngine(
+        traces, llc, config, FixedLatencyMemory(config.latency.memory)
+    ).run()
+    return misses
+
+
+def nextuse_profiles(
+    benchmark_name: str, accesses: int, seed: int = DEFAULT_SEED
+) -> List[EpochProfile]:
+    """Epoch-by-epoch Next-Use profiles of a benchmark.
+
+    Runs NUcache with zero DeliWays — behaviourally a plain 16-way LRU
+    cache — so the profiles describe the *baseline* eviction stream, the
+    way the paper characterizes Next-Use distances before applying the
+    mechanism.
+    """
+    config = paper_system_config(1, deli_ways=0)
+    traces = make_traces([benchmark_name], accesses, seed)
+    llc = make_llc("nucache", config, seed)
+    llc.controller.keep_profiles = True
+    MulticoreEngine(
+        traces, llc, config, FixedLatencyMemory(config.latency.memory)
+    ).run()
+    return llc.controller.profile_history

@@ -1,0 +1,23 @@
+"""Performance metrics: single-stream and multiprogrammed."""
+
+from repro.metrics.basic import hit_rate, miss_reduction, mpki
+from repro.metrics.multicore import (
+    average_normalized_turnaround,
+    fairness,
+    geometric_mean,
+    harmonic_mean_speedup,
+    improvement,
+    weighted_speedup,
+)
+
+__all__ = [
+    "average_normalized_turnaround",
+    "fairness",
+    "geometric_mean",
+    "harmonic_mean_speedup",
+    "hit_rate",
+    "improvement",
+    "miss_reduction",
+    "mpki",
+    "weighted_speedup",
+]

@@ -1,0 +1,30 @@
+"""Single-stream cache metrics."""
+
+from __future__ import annotations
+
+
+def mpki(misses: int, instructions: int) -> float:
+    """Misses per thousand instructions."""
+    if instructions <= 0:
+        raise ValueError(f"instructions must be positive, got {instructions}")
+    if misses < 0:
+        raise ValueError(f"misses must be >= 0, got {misses}")
+    return 1000.0 * misses / instructions
+
+
+def hit_rate(hits: int, accesses: int) -> float:
+    """Hits per access; 0.0 when there were no accesses."""
+    if hits < 0 or accesses < 0:
+        raise ValueError(f"counts must be >= 0, got hits={hits}, accesses={accesses}")
+    if hits > accesses:
+        raise ValueError(f"hits ({hits}) exceed accesses ({accesses})")
+    return hits / accesses if accesses else 0.0
+
+
+def miss_reduction(baseline_misses: int, new_misses: int) -> float:
+    """Fraction of baseline misses removed (0.25 = 25% fewer misses)."""
+    if baseline_misses < 0 or new_misses < 0:
+        raise ValueError("miss counts must be >= 0")
+    if baseline_misses == 0:
+        return 0.0
+    return 1.0 - new_misses / baseline_misses

@@ -1,0 +1,76 @@
+"""Multiprogrammed-performance metrics.
+
+All take per-core shared-run IPCs plus the corresponding alone-run IPCs
+(the same workload monopolizing the same cache).  The paper's headline
+numbers are weighted-speedup improvements over the LRU baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _check(shared: Sequence[float], alone: Sequence[float]) -> None:
+    if len(shared) != len(alone):
+        raise ValueError(
+            f"shared ({len(shared)}) and alone ({len(alone)}) lengths differ"
+        )
+    if not shared:
+        raise ValueError("need at least one core")
+    if any(ipc <= 0 for ipc in alone):
+        raise ValueError(f"alone IPCs must be positive, got {list(alone)}")
+    if any(ipc < 0 for ipc in shared):
+        raise ValueError(f"shared IPCs must be >= 0, got {list(shared)}")
+
+
+def weighted_speedup(shared: Sequence[float], alone: Sequence[float]) -> float:
+    """Sum of per-core normalized IPCs (system throughput)."""
+    _check(shared, alone)
+    return sum(s / a for s, a in zip(shared, alone))
+
+
+def harmonic_mean_speedup(shared: Sequence[float], alone: Sequence[float]) -> float:
+    """Harmonic mean of normalized IPCs (balances throughput/fairness)."""
+    _check(shared, alone)
+    if any(s == 0 for s in shared):
+        return 0.0
+    return len(shared) / sum(a / s for s, a in zip(shared, alone))
+
+
+def average_normalized_turnaround(
+    shared: Sequence[float], alone: Sequence[float]
+) -> float:
+    """ANTT: mean per-core slowdown (lower is better)."""
+    _check(shared, alone)
+    if any(s == 0 for s in shared):
+        raise ValueError("ANTT undefined when a core made no progress")
+    return sum(a / s for s, a in zip(shared, alone)) / len(shared)
+
+
+def fairness(shared: Sequence[float], alone: Sequence[float]) -> float:
+    """Min/max ratio of per-core normalized IPCs (1.0 = perfectly fair)."""
+    _check(shared, alone)
+    normalized = [s / a for s, a in zip(shared, alone)]
+    top = max(normalized)
+    if top == 0:
+        return 0.0
+    return min(normalized) / top
+
+
+def improvement(metric_new: float, metric_base: float) -> float:
+    """Relative improvement of a metric over a baseline (0.10 = +10%)."""
+    if metric_base <= 0:
+        raise ValueError(f"baseline metric must be positive, got {metric_base}")
+    return metric_new / metric_base - 1.0
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (used for cross-mix averages)."""
+    if not values:
+        raise ValueError("need at least one value")
+    if any(value <= 0 for value in values):
+        raise ValueError(f"geometric mean needs positive values, got {list(values)}")
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))

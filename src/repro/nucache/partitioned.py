@@ -1,0 +1,124 @@
+"""Partitioned NUcache — the paper's future-work hybrid (extension).
+
+NUcache and UCP attack different failure modes: UCP stops *inter-core*
+capacity theft with way quotas, NUcache rescues *post-eviction reuse*
+of selected PCs.  The hybrid applies both: the MainWays are way-
+partitioned among cores by UMON + lookahead (exactly as in
+:mod:`repro.partition.ucp`), while the DeliWays keep NUcache's
+cost-benefit PC retention across cores.
+
+Concretely, the only change to NUcache's data path is MainWay victim
+choice: instead of global LRU, pick the LRU line of an over-quota core
+(or of the requester when nobody is over).  Everything downstream —
+retention of selected victims, the profiler, selection epochs — is
+inherited unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.config import CacheGeometry, NUcacheConfig
+from repro.nucache.organization import NUCache, _NUcacheSet
+from repro.partition.lookahead import lookahead_partition
+from repro.partition.umon import UtilityMonitor
+
+
+class PartitionedNUCache(NUCache):
+    """UCP-partitioned MainWays + NUcache DeliWays."""
+
+    name = "nucache-ucp"
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        config: NUcacheConfig,
+        num_cores: int,
+        repartition_period: int = 50_000,
+        umon_sample_period: int = 32,
+    ) -> None:
+        super().__init__(geometry, config)
+        if num_cores <= 0:
+            raise ValueError(f"num_cores must be positive, got {num_cores}")
+        if self.main_ways < num_cores:
+            raise ValueError(
+                f"{self.main_ways} MainWays cannot guarantee a way to "
+                f"{num_cores} cores"
+            )
+        self.num_cores = num_cores
+        self.repartition_period = repartition_period
+        self.monitors = [
+            UtilityMonitor(geometry, umon_sample_period) for _ in range(num_cores)
+        ]
+        base = self.main_ways // num_cores
+        self.allocation = [base] * num_cores
+        self._accesses_since_repartition = 0
+        self.repartitions = 0
+
+    def access(self, block_addr: int, core: int, pc: int, is_write: bool) -> bool:
+        self.monitors[core].observe(block_addr)
+        self._accesses_since_repartition += 1
+        if self._accesses_since_repartition >= self.repartition_period:
+            self.repartition()
+        return super().access(block_addr, core, pc, is_write)
+
+    def repartition(self) -> List[int]:
+        """Recompute MainWay quotas from the UMON curves.
+
+        The UMON curves describe utility up to the *total* associativity;
+        they are truncated to the MainWay count since that is what is
+        being partitioned (the DeliWays are governed by PC selection,
+        not by core quotas).
+        """
+        curves = [
+            monitor.utility_curve()[: self.main_ways + 1]
+            for monitor in self.monitors
+        ]
+        self.allocation = lookahead_partition(curves, self.main_ways, min_ways=1)
+        for monitor in self.monitors:
+            monitor.decay()
+        self._accesses_since_repartition = 0
+        self.repartitions += 1
+        return self.allocation
+
+    def _fill_main(self, nu_set: _NUcacheSet, set_index: int, tag: int,
+                   core: int, pc: int, pc_slot: int, dirty: bool) -> None:
+        """Quota-aware MainWay fill (overrides global-LRU victim choice)."""
+        if nu_set.free_ways:
+            way = nu_set.free_ways.pop()
+        else:
+            way = self._choose_victim(nu_set, core)
+            self._evict_main(nu_set, set_index, way)
+        line = nu_set.main_lines[way]
+        line.fill(tag, core, pc, dirty)
+        line.pc_slot = pc_slot
+        nu_set.main_tag_to_way[tag] = way
+        nu_set.main_policy.insert(way, core, pc)
+
+    def _choose_victim(self, nu_set: _NUcacheSet, requester: int) -> int:
+        """UCP-style replacement-based enforcement over the MainWays."""
+        counts = [0] * self.num_cores
+        for line in nu_set.main_lines:
+            if line.valid and 0 <= line.core < self.num_cores:
+                counts[line.core] += 1
+        over = self._lru_way_matching(
+            nu_set,
+            lambda line: (
+                line.core != requester
+                and 0 <= line.core < self.num_cores
+                and counts[line.core] > self.allocation[line.core]
+            ),
+        )
+        if over is not None:
+            return over
+        own = self._lru_way_matching(nu_set, lambda line: line.core == requester)
+        if own is not None:
+            return own
+        return nu_set.main_policy.victim()
+
+    def _lru_way_matching(self, nu_set: _NUcacheSet, predicate) -> Optional[int]:
+        for way in reversed(nu_set.main_policy.stack):
+            line = nu_set.main_lines[way]
+            if line.valid and predicate(line):
+                return way
+        return None

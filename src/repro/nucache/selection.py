@@ -1,0 +1,131 @@
+"""Cost-benefit PC selection.
+
+Given an :class:`~repro.nucache.nextuse.EpochProfile` and the DeliWay
+capacity ``B`` (total line slots), the selector chooses the subset of
+candidate delinquent PCs whose retained lines maximize captured hits.
+
+Three selectors are provided:
+
+* :func:`greedy_select` — the paper's mechanism: iteratively add the PC
+  with the largest *marginal* benefit, re-evaluating the full
+  cost-benefit at each step (adding a PC both captures its reuses and
+  pushes everyone else's lines out of the DeliWays faster, so marginal
+  benefit can be negative; the greedy loop stops when it is).
+* :func:`oracle_select` — exhaustive subset search, exponential in the
+  candidate count; the quality upper bound used by the Fig. 9 ablation.
+* :func:`topk_select` — the strawman: pick the ``k`` largest miss
+  producers regardless of next-use behaviour; the paper's argument is
+  precisely that this is *not* good enough.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, List, Sequence
+
+import numpy as np
+
+from repro.nucache.nextuse import EpochProfile
+
+
+def evaluate_subset(profile: EpochProfile, slots: Sequence[int], deli_capacity: int) -> int:
+    """Captured hits for an explicit candidate subset."""
+    mask = np.zeros(profile.num_slots, dtype=bool)
+    for slot in slots:
+        mask[slot] = True
+    return profile.captured_hits(mask, deli_capacity)
+
+
+def greedy_select(
+    profile: EpochProfile, deli_capacity: int, max_selected: int
+) -> FrozenSet[int]:
+    """The paper's greedy cost-benefit selection.
+
+    Starts from the empty set and adds, at each step, the candidate with
+    the highest resulting total captured-hit count, stopping when no
+    addition improves the total or ``max_selected`` is reached.
+    """
+    if profile.num_events == 0 or max_selected <= 0:
+        return frozenset()
+    mask = np.zeros(profile.num_slots, dtype=bool)
+    best_total = 0
+    selected: List[int] = []
+    while len(selected) < max_selected:
+        best_slot = -1
+        best_candidate_total = best_total
+        for slot in range(profile.num_slots):
+            if mask[slot]:
+                continue
+            mask[slot] = True
+            total = profile.captured_hits(mask, deli_capacity)
+            mask[slot] = False
+            if total > best_candidate_total:
+                best_candidate_total = total
+                best_slot = slot
+        if best_slot < 0:
+            break
+        mask[best_slot] = True
+        selected.append(best_slot)
+        best_total = best_candidate_total
+    return frozenset(selected)
+
+
+def oracle_select(
+    profile: EpochProfile, deli_capacity: int, max_selected: int
+) -> FrozenSet[int]:
+    """Exhaustive best subset of size at most ``max_selected``.
+
+    Exponential in ``profile.num_slots``; intended for candidate pools
+    of at most ~16 PCs (tests and the selection-quality ablation).
+    """
+    if profile.num_events == 0:
+        return frozenset()
+    slots = range(profile.num_slots)
+    best_subset: FrozenSet[int] = frozenset()
+    best_total = 0
+    for size in range(1, min(max_selected, profile.num_slots) + 1):
+        for subset in combinations(slots, size):
+            total = evaluate_subset(profile, subset, deli_capacity)
+            if total > best_total:
+                best_total = total
+                best_subset = frozenset(subset)
+    return best_subset
+
+
+def all_select(
+    profile: EpochProfile, deli_capacity: int, max_selected: int
+) -> FrozenSet[int]:
+    """Indiscriminate retention: select every candidate with traffic.
+
+    Turns the DeliWays into a plain PC-blind victim buffer — the
+    ablation showing that *selection* (not merely extra retention
+    capacity) is what makes NUcache work.  ``max_selected`` is ignored
+    on purpose: a victim buffer admits everyone.
+    """
+    return frozenset(
+        slot for slot, evictions in enumerate(profile.evictions_per_slot)
+        if evictions > 0
+    )
+
+
+def topk_select(
+    profile: EpochProfile, deli_capacity: int, max_selected: int
+) -> FrozenSet[int]:
+    """Naive selection: the ``k`` candidates with the most evictions.
+
+    ``deli_capacity`` is accepted for signature compatibility; the whole
+    point of the strawman is that it ignores capacity.
+    """
+    order = np.argsort(profile.evictions_per_slot)[::-1]
+    chosen = [int(slot) for slot in order[:max_selected]
+              if profile.evictions_per_slot[int(slot)] > 0]
+    return frozenset(chosen)
+
+
+#: Registry used by the controller and the CLI.
+SELECTORS = {
+    "greedy": greedy_select,
+    "oracle": oracle_select,
+    "topk": topk_select,
+    "all": all_select,
+}

@@ -1,0 +1,23 @@
+"""Cache-partitioning baselines: UMON, UCP lookahead, UCP, PIPP."""
+
+from repro.partition.lookahead import lookahead_partition
+from repro.partition.pipp import (
+    PIPPCache,
+    PROMOTION_PROBABILITY,
+    STREAM_ALLOCATION,
+    STREAM_PROMOTION_PROBABILITY,
+    STREAM_UTILITY_THRESHOLD,
+)
+from repro.partition.ucp import UCPCache
+from repro.partition.umon import UtilityMonitor
+
+__all__ = [
+    "PIPPCache",
+    "PROMOTION_PROBABILITY",
+    "STREAM_ALLOCATION",
+    "STREAM_PROMOTION_PROBABILITY",
+    "STREAM_UTILITY_THRESHOLD",
+    "UCPCache",
+    "UtilityMonitor",
+    "lookahead_partition",
+]

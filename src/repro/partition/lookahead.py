@@ -1,0 +1,91 @@
+"""UCP's lookahead partitioning algorithm (Qureshi & Patt, MICRO 2006).
+
+Given each core's utility curve (hits as a function of allocated ways),
+split the LLC's ways to maximize total hits.  The exact problem is
+NP-hard for non-convex curves; *lookahead* greedily grants, at each
+step, the block of ways with the highest marginal utility **per way**,
+looking ahead past plateaus in a curve (a core whose curve is flat for
+two ways and then jumps still gets considered at its jump).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def _best_step(curve: Sequence[int], current: int, budget: int) -> Tuple[float, int]:
+    """Best (utility-per-way, ways) step for one core.
+
+    Scans every feasible extension of the core's allocation and returns
+    the one with the highest marginal utility per way granted.
+    """
+    best_rate = -1.0
+    best_ways = 0
+    base = curve[current]
+    for extra in range(1, budget + 1):
+        gain = curve[current + extra] - base
+        rate = gain / extra
+        if rate > best_rate:
+            best_rate = rate
+            best_ways = extra
+    return best_rate, best_ways
+
+
+def lookahead_partition(
+    curves: Sequence[Sequence[int]], total_ways: int, min_ways: int = 1
+) -> List[int]:
+    """Partition ``total_ways`` among cores using lookahead.
+
+    Args:
+        curves: per-core utility curves, ``curves[i][w]`` = hits of core
+            ``i`` with ``w`` ways, for ``w in 0..ways``; each curve must
+            be defined at least up to ``total_ways`` entries or its own
+            maximum (allocation never exceeds ``len(curve) - 1``).
+        total_ways: ways available in each set.
+        min_ways: guaranteed minimum per core (UCP uses 1 so no core is
+            completely starved).
+
+    Returns:
+        Per-core way allocations summing to ``total_ways``.
+    """
+    num_cores = len(curves)
+    if num_cores == 0:
+        raise ValueError("need at least one core to partition for")
+    if total_ways < num_cores * min_ways:
+        raise ValueError(
+            f"{total_ways} ways cannot give {num_cores} cores {min_ways} each"
+        )
+    allocation = [min_ways] * num_cores
+    remaining = total_ways - num_cores * min_ways
+    while remaining > 0:
+        winner = -1
+        winner_ways = 0
+        winner_rate = -1.0
+        for core, curve in enumerate(curves):
+            headroom = min(remaining, len(curve) - 1 - allocation[core])
+            if headroom <= 0:
+                continue
+            rate, ways = _best_step(curve, allocation[core], headroom)
+            # Ties go to the core holding fewer ways so equal-utility
+            # cores converge to an even split instead of starving.
+            beats = rate > winner_rate or (
+                rate == winner_rate
+                and winner >= 0
+                and allocation[core] < allocation[winner]
+            )
+            if beats:
+                winner_rate = rate
+                winner = core
+                winner_ways = ways
+        if winner < 0 or winner_ways == 0:
+            # Every curve exhausted (all cores at their curve's end);
+            # spread the remainder round-robin to keep the sum exact.
+            for core in range(num_cores):
+                if remaining == 0:
+                    break
+                allocation[core] += 1
+                remaining -= 1
+            break
+        allocation[winner] += winner_ways
+        remaining -= winner_ways
+    return allocation

@@ -1,0 +1,88 @@
+"""UMON — utility monitors (Qureshi & Patt, MICRO 2006).
+
+A UMON is a per-core auxiliary tag directory (ATD) over a sample of the
+LLC's sets.  It replays the core's LLC accesses against a private,
+full-associativity-of-the-LLC LRU stack and counts hits *per recency
+position*.  Because of the LRU stack property, the number of hits the
+core would enjoy with ``w`` ways to itself equals the sum of position
+counters ``0 .. w-1`` — the marginal-utility curve that UCP's lookahead
+algorithm partitions on and that PIPP turns into insertion positions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.common.config import CacheGeometry
+
+
+class _ATDSet:
+    """One sampled set's LRU tag stack (MRU first)."""
+
+    __slots__ = ("tags",)
+
+    def __init__(self) -> None:
+        self.tags: List[int] = []
+
+
+class UtilityMonitor:
+    """Per-core UMON with dynamic set sampling.
+
+    Args:
+        geometry: geometry of the monitored LLC (sets/ways).
+        sample_period: monitor every Nth set (UMON-DSS; 1 = global).
+    """
+
+    def __init__(self, geometry: CacheGeometry, sample_period: int = 32) -> None:
+        if sample_period <= 0:
+            raise ValueError(f"sample_period must be positive, got {sample_period}")
+        self.ways = geometry.ways
+        self.sample_period = sample_period
+        self._set_mask = geometry.num_sets - 1
+        self._index_bits = geometry.num_sets.bit_length() - 1
+        self._sampled: Dict[int, _ATDSet] = {}
+        self.position_hits = [0] * self.ways
+        self.misses = 0
+
+    def observe(self, block_addr: int) -> None:
+        """Replay one LLC access by the monitored core."""
+        set_index = block_addr & self._set_mask
+        if set_index % self.sample_period != 0:
+            return
+        atd = self._sampled.get(set_index)
+        if atd is None:
+            atd = self._sampled.setdefault(set_index, _ATDSet())
+        tag = block_addr >> self._index_bits
+        tags = atd.tags
+        try:
+            position = tags.index(tag)
+        except ValueError:
+            self.misses += 1
+            tags.insert(0, tag)
+            if len(tags) > self.ways:
+                tags.pop()
+            return
+        self.position_hits[position] += 1
+        del tags[position]
+        tags.insert(0, tag)
+
+    def utility_curve(self) -> List[int]:
+        """``curve[w]`` = hits with ``w`` ways; ``curve[0] == 0``."""
+        curve = [0] * (self.ways + 1)
+        running = 0
+        for way in range(self.ways):
+            running += self.position_hits[way]
+            curve[way + 1] = running
+        return curve
+
+    @property
+    def accesses(self) -> int:
+        """Sampled accesses observed (hits at any depth + misses)."""
+        return sum(self.position_hits) + self.misses
+
+    def decay(self, factor: int = 2) -> None:
+        """Halve the counters at an interval boundary (UCP's aging)."""
+        if factor <= 0:
+            raise ValueError(f"factor must be positive, got {factor}")
+        self.position_hits = [count // factor for count in self.position_hits]
+        self.misses //= factor

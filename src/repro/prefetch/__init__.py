@@ -1,0 +1,23 @@
+"""Prefetcher models for the prefetch-interaction extension study."""
+
+from repro.prefetch.prefetchers import (
+    PREFETCH_PC,
+    PREFETCHERS,
+    NextLinePrefetcher,
+    NoPrefetcher,
+    Prefetcher,
+    StreamPrefetcher,
+    StridePrefetcher,
+    make_prefetcher,
+)
+
+__all__ = [
+    "NextLinePrefetcher",
+    "NoPrefetcher",
+    "PREFETCHERS",
+    "PREFETCH_PC",
+    "Prefetcher",
+    "StreamPrefetcher",
+    "StridePrefetcher",
+    "make_prefetcher",
+]

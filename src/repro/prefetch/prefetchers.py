@@ -1,0 +1,214 @@
+"""Hardware prefetcher models.
+
+The paper's machine, like any real CMP, runs with prefetching on; a
+credible LLC-policy study must show its mechanism survives prefetch
+traffic (prefetches dilute the PC signal — a prefetched fill has no
+delinquent PC — and add stream pressure on the DeliWays).  These models
+sit between a core's L2 and the shared LLC: on every demand access they
+may emit additional *prefetch* block addresses which the core model
+issues to the LLC with a reserved prefetch PC.
+
+Models, in increasing smarts:
+
+* :class:`NextLinePrefetcher` — on a miss, fetch the next ``degree``
+  sequential blocks.
+* :class:`StridePrefetcher` — classic PC-indexed stride table
+  (reference prediction): detects a per-PC constant stride after
+  ``confidence_threshold`` confirmations and then runs ``degree`` ahead.
+* :class:`StreamPrefetcher` — region-based stream detector: tracks up to
+  ``num_streams`` active regions, each with a direction, and prefetches
+  ``degree`` ahead once a region sees ``train_length`` sequential hits.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional, Tuple
+
+#: PC value attached to prefetch fills (no real instruction issued them).
+PREFETCH_PC = -1
+
+
+class Prefetcher(ABC):
+    """Interface: observe a demand access, propose prefetch blocks."""
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.issued = 0
+
+    @abstractmethod
+    def observe(self, block_addr: int, pc: int, was_miss: bool) -> List[int]:
+        """Process one demand access; returns block addresses to prefetch."""
+
+    def _account(self, candidates: List[int]) -> List[int]:
+        self.issued += len(candidates)
+        return candidates
+
+
+class NoPrefetcher(Prefetcher):
+    """The disabled prefetcher (keeps call sites branch-free)."""
+
+    name = "none"
+
+    def observe(self, block_addr: int, pc: int, was_miss: bool) -> List[int]:
+        return []
+
+
+class NextLinePrefetcher(Prefetcher):
+    """Fetch the next ``degree`` sequential blocks on every miss."""
+
+    name = "nextline"
+
+    def __init__(self, degree: int = 1) -> None:
+        super().__init__()
+        if degree <= 0:
+            raise ValueError(f"degree must be positive, got {degree}")
+        self.degree = degree
+
+    def observe(self, block_addr: int, pc: int, was_miss: bool) -> List[int]:
+        if not was_miss:
+            return []
+        return self._account([block_addr + offset for offset in range(1, self.degree + 1)])
+
+
+class _StrideEntry:
+    """One PC's stride-table state."""
+
+    __slots__ = ("last_block", "stride", "confidence")
+
+    def __init__(self, block_addr: int) -> None:
+        self.last_block = block_addr
+        self.stride = 0
+        self.confidence = 0
+
+
+class StridePrefetcher(Prefetcher):
+    """PC-indexed reference-prediction-table prefetcher."""
+
+    name = "stride"
+
+    def __init__(self, degree: int = 2, table_size: int = 64,
+                 confidence_threshold: int = 2) -> None:
+        super().__init__()
+        if degree <= 0:
+            raise ValueError(f"degree must be positive, got {degree}")
+        if table_size <= 0:
+            raise ValueError(f"table_size must be positive, got {table_size}")
+        if confidence_threshold <= 0:
+            raise ValueError(
+                f"confidence_threshold must be positive, got {confidence_threshold}"
+            )
+        self.degree = degree
+        self.table_size = table_size
+        self.confidence_threshold = confidence_threshold
+        self._table: "Dict[int, _StrideEntry]" = {}
+
+    def observe(self, block_addr: int, pc: int, was_miss: bool) -> List[int]:
+        entry = self._table.get(pc)
+        if entry is None:
+            if len(self._table) >= self.table_size:
+                # Evict an arbitrary (oldest-inserted) entry.
+                self._table.pop(next(iter(self._table)))
+            self._table[pc] = _StrideEntry(block_addr)
+            return []
+        stride = block_addr - entry.last_block
+        entry.last_block = block_addr
+        if stride == 0:
+            return []
+        if stride == entry.stride:
+            entry.confidence = min(entry.confidence + 1, 2 * self.confidence_threshold)
+        else:
+            entry.stride = stride
+            entry.confidence = 1
+            return []
+        if entry.confidence < self.confidence_threshold:
+            return []
+        return self._account(
+            [block_addr + entry.stride * ahead for ahead in range(1, self.degree + 1)]
+        )
+
+
+class _StreamEntry:
+    """One tracked region of a stream prefetcher."""
+
+    __slots__ = ("region", "last_block", "direction", "trained")
+
+    def __init__(self, region: int, block_addr: int) -> None:
+        self.region = region
+        self.last_block = block_addr
+        self.direction = 0
+        self.trained = 0
+
+
+class StreamPrefetcher(Prefetcher):
+    """Region-based stream detector with direction training."""
+
+    name = "stream"
+
+    def __init__(self, degree: int = 4, num_streams: int = 8,
+                 region_blocks: int = 64, train_length: int = 3) -> None:
+        super().__init__()
+        if degree <= 0 or num_streams <= 0 or region_blocks <= 0 or train_length <= 0:
+            raise ValueError("all stream-prefetcher parameters must be positive")
+        self.degree = degree
+        self.num_streams = num_streams
+        self.region_blocks = region_blocks
+        self.train_length = train_length
+        self._streams: "Dict[int, _StreamEntry]" = {}
+
+    def observe(self, block_addr: int, pc: int, was_miss: bool) -> List[int]:
+        region = block_addr // self.region_blocks
+        entry = self._find(region)
+        if entry is None:
+            if len(self._streams) >= self.num_streams:
+                self._streams.pop(next(iter(self._streams)))
+            self._streams[region] = _StreamEntry(region, block_addr)
+            return []
+        step = block_addr - entry.last_block
+        entry.last_block = block_addr
+        direction = 1 if step > 0 else -1 if step < 0 else 0
+        if direction == 0:
+            return []
+        if direction == entry.direction:
+            entry.trained = min(entry.trained + 1, 2 * self.train_length)
+        else:
+            entry.direction = direction
+            entry.trained = 1
+            return []
+        if entry.trained < self.train_length:
+            return []
+        return self._account(
+            [block_addr + direction * ahead for ahead in range(1, self.degree + 1)]
+        )
+
+    def _find(self, region: int) -> Optional[_StreamEntry]:
+        # A stream may cross a region boundary; accept neighbours.
+        for candidate in (region, region - 1, region + 1):
+            entry = self._streams.get(candidate)
+            if entry is not None:
+                if candidate != region:
+                    self._streams[region] = self._streams.pop(candidate)
+                    entry.region = region
+                return entry
+        return None
+
+
+#: Factory registry for the CLI/experiments.
+PREFETCHERS = {
+    "none": NoPrefetcher,
+    "nextline": NextLinePrefetcher,
+    "stride": StridePrefetcher,
+    "stream": StreamPrefetcher,
+}
+
+
+def make_prefetcher(name: str, **kwargs: object) -> Prefetcher:
+    """Build a prefetcher by name."""
+    try:
+        factory = PREFETCHERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown prefetcher {name!r}; known: {', '.join(sorted(PREFETCHERS))}"
+        ) from None
+    return factory(**kwargs)  # type: ignore[arg-type]

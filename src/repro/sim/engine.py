@@ -1,0 +1,162 @@
+"""The multicore trace-driven engine.
+
+Cores progress on local clocks; at every step the engine advances the
+core with the *smallest* clock, so accesses from different cores reach
+the shared LLC in global time order.  A core that finishes its trace
+wraps around and keeps running (to keep contention realistic for the
+slower cores) but its statistics freeze at the end of its first pass —
+the standard multiprogrammed methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.cache.cache import LastLevelCache
+from repro.common.config import SystemConfig
+from repro.common.errors import SimulationError
+from repro.prefetch.prefetchers import Prefetcher
+from repro.sim.core import CoreModel
+from repro.sim.memory import FixedLatencyMemory
+from repro.workloads.trace import Trace
+
+
+@dataclass
+class CoreResult:
+    """Measured-pass results for one core."""
+
+    core_id: int
+    workload: str
+    instructions: int
+    cycles: int
+    ipc: float
+    mpki: float
+    llc_accesses: int
+    llc_misses: int
+    level_counts: Dict[str, int]
+
+    @property
+    def llc_hit_rate(self) -> float:
+        """LLC hit rate over the measured pass."""
+        if self.llc_accesses == 0:
+            return 0.0
+        return 1.0 - self.llc_misses / self.llc_accesses
+
+
+@dataclass
+class SimResult:
+    """Results of one multicore (or single-core) simulation."""
+
+    policy: str
+    cores: List[CoreResult]
+    llc_occupancy_by_core: Dict[int, int] = field(default_factory=dict)
+    llc_extra: Dict[str, float] = field(default_factory=dict)
+
+    def core(self, core_id: int) -> CoreResult:
+        """Result for one core."""
+        for result in self.cores:
+            if result.core_id == core_id:
+                return result
+        raise SimulationError(f"no result for core {core_id}")
+
+    @property
+    def ipcs(self) -> List[float]:
+        """Per-core IPCs in core order."""
+        return [result.ipc for result in self.cores]
+
+    @property
+    def total_llc_misses(self) -> int:
+        """Total measured LLC misses across cores."""
+        return sum(result.llc_misses for result in self.cores)
+
+
+class MulticoreEngine:
+    """Runs a set of traces against one shared LLC organization."""
+
+    def __init__(
+        self,
+        traces: Sequence[Trace],
+        llc: LastLevelCache,
+        config: SystemConfig,
+        memory: Optional[FixedLatencyMemory] = None,
+        warmup_fraction: float = 0.0,
+        prefetchers: Optional[Sequence[Optional[Prefetcher]]] = None,
+    ) -> None:
+        if not traces:
+            raise SimulationError("need at least one trace")
+        if len(traces) != config.num_cores:
+            raise SimulationError(
+                f"got {len(traces)} traces for {config.num_cores} cores"
+            )
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise SimulationError(
+                f"warmup_fraction must be in [0, 1), got {warmup_fraction}"
+            )
+        if prefetchers is not None and len(prefetchers) != len(traces):
+            raise SimulationError(
+                f"got {len(prefetchers)} prefetchers for {len(traces)} cores"
+            )
+        self.llc = llc
+        self.config = config
+        self.memory = memory or FixedLatencyMemory(config.latency.memory)
+        self.cores = [
+            CoreModel(core_id, trace, config,
+                      warmup_accesses=int(len(trace) * warmup_fraction),
+                      prefetcher=None if prefetchers is None else prefetchers[core_id])
+            for core_id, trace in enumerate(traces)
+        ]
+
+    def run(self, max_steps: Optional[int] = None) -> SimResult:
+        """Run until every core completes its first pass.
+
+        Args:
+            max_steps: safety valve for tests; ``None`` means run to
+                completion (guaranteed to terminate since every step
+                advances some core's cursor).
+        """
+        cores = self.cores
+        llc = self.llc
+        memory = self.memory
+        pending = [core for core in cores if not core.first_pass_done]
+        steps = 0
+        while pending:
+            runner = min(pending, key=_clock_of)
+            runner.step(llc, memory)
+            if runner.first_pass_done:
+                pending = [core for core in cores if not core.first_pass_done]
+            steps += 1
+            if max_steps is not None and steps >= max_steps:
+                break
+        return self._collect()
+
+    def _collect(self) -> SimResult:
+        core_results = [
+            CoreResult(
+                core_id=core.core_id,
+                workload=core.trace.name,
+                instructions=core.instructions,
+                cycles=core.cycles(),
+                ipc=core.ipc(),
+                mpki=core.mpki(),
+                llc_accesses=core.llc_accesses(),
+                llc_misses=core.llc_misses(),
+                level_counts=dict(core.level_counts),
+            )
+            for core in self.cores
+        ]
+        extra: Dict[str, float] = {}
+        deli_hits = getattr(self.llc, "deli_hits", None)
+        if deli_hits is not None:
+            extra["deli_hits"] = float(deli_hits)
+            extra["retentions"] = float(getattr(self.llc, "retentions", 0))
+        return SimResult(
+            policy=self.llc.name,
+            cores=core_results,
+            llc_occupancy_by_core=self.llc.occupancy_by_core(),
+            llc_extra=extra,
+        )
+
+
+def _clock_of(core: CoreModel) -> int:
+    return core.clock

@@ -1,0 +1,54 @@
+"""Main-memory timing models.
+
+The evaluation's first-order effects come from the LLC hit/miss split,
+so the default model charges a fixed latency per miss.  A bandwidth-
+limited model is provided for the contention-sensitivity extension: it
+serializes requests through a single channel, so heavy miss traffic from
+many cores inflates effective memory latency the way a real DRAM bus
+does.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+
+
+class FixedLatencyMemory:
+    """Every request completes ``latency`` cycles after issue."""
+
+    def __init__(self, latency: int) -> None:
+        if latency <= 0:
+            raise ConfigError(f"memory latency must be positive, got {latency}")
+        self.latency = latency
+        self.requests = 0
+
+    def service(self, now: int) -> int:
+        """Issue a request at cycle ``now``; returns its total latency."""
+        self.requests += 1
+        return self.latency
+
+
+class BandwidthLimitedMemory:
+    """A single channel that can start one request every ``gap`` cycles.
+
+    Requests queue FCFS: a request issued while the channel is busy
+    waits for the channel, then pays the access latency.  This is the
+    simplest model that makes 8 streaming cores slower per-miss than 1.
+    """
+
+    def __init__(self, latency: int, gap: int) -> None:
+        if latency <= 0:
+            raise ConfigError(f"memory latency must be positive, got {latency}")
+        if gap <= 0:
+            raise ConfigError(f"channel gap must be positive, got {gap}")
+        self.latency = latency
+        self.gap = gap
+        self.requests = 0
+        self._channel_free_at = 0
+
+    def service(self, now: int) -> int:
+        """Issue a request at cycle ``now``; returns its total latency."""
+        self.requests += 1
+        start = max(now, self._channel_free_at)
+        self._channel_free_at = start + self.gap
+        return (start - now) + self.latency

@@ -1,0 +1,113 @@
+"""Factory for shared-LLC organizations by name.
+
+Central registry so experiments, the CLI and tests all build LLCs the
+same way.  The names are the ones used throughout EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.cache.cache import LastLevelCache, SetAssociativeCache
+from repro.cache.replacement.basic import (
+    fifo_factory,
+    lip_factory,
+    lru_factory,
+    nru_factory,
+    plru_factory,
+    random_factory,
+)
+from repro.cache.replacement.dip import bip_factory, dip_factory, tadip_factory
+from repro.cache.replacement.rrip import brrip_factory, drrip_factory, srrip_factory
+from repro.cache.replacement.deadblock import sdbp_factory
+from repro.cache.replacement.ship import ship_factory
+from repro.common.config import SystemConfig
+from repro.common.errors import ConfigError
+from repro.nucache.organization import NUCache
+from repro.nucache.partitioned import PartitionedNUCache
+from repro.partition.pipp import PIPPCache
+from repro.partition.ucp import UCPCache
+
+#: Builder signature: (config, seed) -> LastLevelCache.
+LLCBuilder = Callable[[SystemConfig, int], LastLevelCache]
+
+
+def _plain(name: str, factory_builder: Callable) -> LLCBuilder:
+    def build(config: SystemConfig, seed: int) -> LastLevelCache:
+        return SetAssociativeCache(config.llc, factory_builder(), name)
+
+    return build
+
+
+def _seeded(name: str, factory_builder: Callable) -> LLCBuilder:
+    def build(config: SystemConfig, seed: int) -> LastLevelCache:
+        return SetAssociativeCache(config.llc, factory_builder(seed), name)
+
+    return build
+
+
+def _build_tadip(config: SystemConfig, seed: int) -> LastLevelCache:
+    return SetAssociativeCache(
+        config.llc, tadip_factory(config.num_cores, seed), "tadip"
+    )
+
+
+def _build_ucp(config: SystemConfig, seed: int) -> LastLevelCache:
+    return UCPCache(config.llc, config.num_cores)
+
+
+def _build_pipp(config: SystemConfig, seed: int) -> LastLevelCache:
+    return PIPPCache(config.llc, config.num_cores, seed=seed)
+
+
+def _build_nucache(config: SystemConfig, seed: int) -> LastLevelCache:
+    return NUCache(config.llc, config.nucache)
+
+
+def _build_nucache_ucp(config: SystemConfig, seed: int) -> LastLevelCache:
+    return PartitionedNUCache(config.llc, config.nucache, config.num_cores)
+
+
+_REGISTRY: Dict[str, LLCBuilder] = {
+    "lru": _plain("lru", lru_factory),
+    "fifo": _plain("fifo", fifo_factory),
+    "nru": _plain("nru", nru_factory),
+    "plru": _plain("plru", plru_factory),
+    "lip": _plain("lip", lip_factory),
+    "srrip": _plain("srrip", srrip_factory),
+    "random": _seeded("random", random_factory),
+    "bip": _seeded("bip", bip_factory),
+    "dip": _seeded("dip", dip_factory),
+    "brrip": _seeded("brrip", brrip_factory),
+    "drrip": _seeded("drrip", drrip_factory),
+    "tadip": _build_tadip,
+    "ucp": _build_ucp,
+    "pipp": _build_pipp,
+    "nucache": _build_nucache,
+    "nucache-ucp": _build_nucache_ucp,
+    "ship": lambda config, seed: SetAssociativeCache(
+        config.llc, ship_factory(bypass=False), "ship"
+    ),
+    "ship-bypass": lambda config, seed: SetAssociativeCache(
+        config.llc, ship_factory(bypass=True), "ship-bypass"
+    ),
+    "sdbp": lambda config, seed: SetAssociativeCache(
+        config.llc, sdbp_factory(), "sdbp"
+    ),
+}
+
+
+def policy_names() -> List[str]:
+    """All registered LLC organization names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def make_llc(policy: str, config: SystemConfig, seed: int = 0) -> LastLevelCache:
+    """Build a shared LLC organization by name."""
+    try:
+        builder = _REGISTRY[policy]
+    except KeyError:
+        raise ConfigError(
+            f"unknown LLC policy {policy!r}; known: {', '.join(policy_names())}"
+        ) from None
+    return builder(config, seed)

@@ -1,0 +1,171 @@
+"""High-level run helpers: single benchmarks, mixes, alone baselines.
+
+These are the functions the experiment drivers, examples and CLI call.
+They encapsulate the conventions of the study:
+
+* a *mix run* gives each core one benchmark, relocated into a private
+  address space, on an LLC sized for the core count;
+* an *alone run* gives one benchmark the whole (same-sized) LLC under
+  LRU — the denominator of weighted speedup;
+* trace lengths are expressed in accesses per core.
+
+Alone results are memoized per (benchmark, core-count, length, seed)
+because every mix of an experiment reuses them.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.common.config import SystemConfig, paper_system_config
+from repro.common.rng import DEFAULT_SEED
+from repro.prefetch.prefetchers import make_prefetcher
+from repro.sim.engine import MulticoreEngine, SimResult
+from repro.sim.memory import BandwidthLimitedMemory, FixedLatencyMemory
+from repro.sim.policies import make_llc
+from repro.workloads.mixes import mix_members
+from repro.workloads.spec_like import benchmark
+from repro.workloads.synthetic import generate_trace
+from repro.workloads.trace import Trace
+
+#: Default accesses per core for experiment runs; figures scale this.
+DEFAULT_ACCESSES = 200_000
+
+#: Fraction of each trace used to warm caches before measuring (the
+#: warm-then-measure methodology of the paper's simulator runs).
+DEFAULT_WARMUP_FRACTION = 0.25
+
+#: Channel gap (cycles between request starts) of the bandwidth-limited
+#: memory model.  Eight latency-bound cores generate one request per
+#: ~250+ cycles each, i.e. one every ~32 cycles combined; a 48-cycle
+#: channel therefore saturates under miss-heavy 8-core mixes, which is
+#: the regime the bandwidth-sensitivity study targets.
+DEFAULT_CHANNEL_GAP = 48
+
+
+def _make_memory(config: SystemConfig, model: str):
+    """Build the main-memory model named by ``model``."""
+    if model == "fixed":
+        return FixedLatencyMemory(config.latency.memory)
+    if model == "bandwidth":
+        return BandwidthLimitedMemory(config.latency.memory, DEFAULT_CHANNEL_GAP)
+    raise ValueError(f"unknown memory model {model!r}; use 'fixed' or 'bandwidth'")
+
+
+def make_traces(
+    members: Sequence[str], accesses: int, seed: int
+) -> Tuple[Trace, ...]:
+    """Generate one relocated trace per core for a mix's members.
+
+    Each instance gets a distinct relocation tag so two cores running
+    the same benchmark never share cache lines.
+    """
+    traces = []
+    for core_id, name in enumerate(members):
+        trace = generate_trace(benchmark(name), accesses, seed)
+        traces.append(trace.relocated(core_id))
+    return tuple(traces)
+
+
+def run_workload(
+    members: Sequence[str],
+    policy: str,
+    config: Optional[SystemConfig] = None,
+    accesses: int = DEFAULT_ACCESSES,
+    seed: int = DEFAULT_SEED,
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+    prefetcher: str = "none",
+    memory_model: str = "fixed",
+    **nucache_overrides: object,
+) -> SimResult:
+    """Run a set of benchmarks (one per core) under one LLC policy."""
+    if config is None:
+        config = paper_system_config(len(members), **nucache_overrides)
+    traces = make_traces(members, accesses, seed)
+    llc = make_llc(policy, config, seed)
+    prefetchers = None
+    if prefetcher != "none":
+        prefetchers = [make_prefetcher(prefetcher) for _ in members]
+    engine = MulticoreEngine(
+        traces, llc, config, _make_memory(config, memory_model),
+        warmup_fraction=warmup_fraction, prefetchers=prefetchers,
+    )
+    return engine.run()
+
+
+def run_mix(
+    mix_name: str,
+    policy: str,
+    accesses: int = DEFAULT_ACCESSES,
+    seed: int = DEFAULT_SEED,
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+    prefetcher: str = "none",
+    memory_model: str = "fixed",
+    **nucache_overrides: object,
+) -> SimResult:
+    """Run one named mix under one LLC policy."""
+    return run_workload(
+        mix_members(mix_name), policy, None, accesses, seed, warmup_fraction,
+        prefetcher, memory_model, **nucache_overrides,
+    )
+
+
+def run_single(
+    benchmark_name: str,
+    policy: str,
+    accesses: int = DEFAULT_ACCESSES,
+    seed: int = DEFAULT_SEED,
+    num_cores_capacity: int = 1,
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+    prefetcher: str = "none",
+    **nucache_overrides: object,
+) -> SimResult:
+    """Run one benchmark alone on an LLC sized for ``num_cores_capacity``.
+
+    With ``num_cores_capacity > 1`` the benchmark monopolizes a larger
+    LLC — this is the "alone" configuration of the multicore studies.
+    """
+    config = paper_system_config(1, **nucache_overrides)
+    if num_cores_capacity != 1:
+        from dataclasses import replace
+
+        from repro.common.config import paper_llc_geometry
+
+        config = replace(config, llc=paper_llc_geometry(num_cores_capacity))
+    trace = generate_trace(benchmark(benchmark_name), accesses, seed)
+    llc = make_llc(policy, config, seed)
+    prefetchers = None if prefetcher == "none" else [make_prefetcher(prefetcher)]
+    engine = MulticoreEngine(
+        (trace,), llc, config, FixedLatencyMemory(config.latency.memory),
+        warmup_fraction=warmup_fraction, prefetchers=prefetchers,
+    )
+    return engine.run()
+
+
+@lru_cache(maxsize=None)
+def alone_ipc(
+    benchmark_name: str,
+    num_cores_capacity: int,
+    accesses: int = DEFAULT_ACCESSES,
+    seed: int = DEFAULT_SEED,
+    policy: str = "lru",
+) -> float:
+    """Memoized alone-run IPC (weighted-speedup denominator)."""
+    result = run_single(
+        benchmark_name, policy, accesses, seed, num_cores_capacity
+    )
+    return result.cores[0].ipc
+
+
+def alone_ipcs_for_mix(
+    mix_name: str,
+    accesses: int = DEFAULT_ACCESSES,
+    seed: int = DEFAULT_SEED,
+) -> Dict[str, float]:
+    """Alone IPCs for every member of a mix (keyed per core position)."""
+    members = mix_members(mix_name)
+    return {
+        f"{core}:{name}": alone_ipc(name, len(members), accesses, seed)
+        for core, name in enumerate(members)
+    }

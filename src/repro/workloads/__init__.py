@@ -1,0 +1,53 @@
+"""Workloads: traces, synthetic generators, SPEC-like catalog, mixes."""
+
+from repro.workloads.mixes import all_mixes, mix_members, mix_names
+from repro.workloads.patterns import (
+    AccessPattern,
+    HotSpot,
+    PointerChase,
+    StridedLoop,
+    UniformRandom,
+)
+from repro.workloads.spec_like import (
+    benchmark,
+    benchmark_class,
+    benchmark_names,
+    benchmarks_in_class,
+    catalog,
+)
+from repro.workloads.synthetic import BenchmarkSpec, StreamSpec, generate_trace
+from repro.workloads.textio import (
+    concatenate,
+    downsample,
+    interleave,
+    load_text,
+    save_text,
+    window,
+)
+from repro.workloads.trace import Trace
+
+__all__ = [
+    "AccessPattern",
+    "BenchmarkSpec",
+    "HotSpot",
+    "PointerChase",
+    "StreamSpec",
+    "StridedLoop",
+    "Trace",
+    "UniformRandom",
+    "all_mixes",
+    "benchmark",
+    "benchmark_class",
+    "benchmark_names",
+    "benchmarks_in_class",
+    "catalog",
+    "concatenate",
+    "downsample",
+    "generate_trace",
+    "interleave",
+    "load_text",
+    "mix_members",
+    "mix_names",
+    "save_text",
+    "window",
+]

@@ -1,0 +1,111 @@
+"""Multiprogrammed mix tables for the multicore experiments.
+
+The paper evaluates dual-, quad- and eight-core workloads "comprised of
+SPEC benchmarks".  The exact mix tables are not in the available text
+(see DESIGN.md), so the tables below follow the standard construction of
+that literature: cover the cross product of behaviour classes
+(delinquent x streaming, delinquent x friendly, partition x streaming,
+...) so that every policy's strong and weak cases appear.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.common.errors import WorkloadError
+from repro.workloads.spec_like import benchmark
+
+#: name -> tuple of benchmark names, one per core.
+_DUAL: Dict[str, Tuple[str, ...]] = {
+    "mix2_1": ("art_like", "swim_like"),
+    "mix2_2": ("ammp_like", "libquantum_like"),
+    "mix2_3": ("art_like", "mcf_like"),
+    "mix2_4": ("soplex_like", "lbm_like"),
+    "mix2_5": ("sphinx_like", "swim_like"),
+    "mix2_6": ("ammp_like", "h264_like"),
+    "mix2_7": ("equake_like", "milc_like"),
+    "mix2_8": ("art_like", "ammp_like"),
+    "mix2_9": ("hmmer_like", "twolf_like"),
+    "mix2_10": ("vortex_like", "libquantum_like"),
+    "mix2_11": ("h264_like", "gcc_like"),
+    "mix2_12": ("omnetpp_like", "hmmer_like"),
+}
+
+_QUAD: Dict[str, Tuple[str, ...]] = {
+    "mix4_1": ("art_like", "swim_like", "ammp_like", "libquantum_like"),
+    "mix4_2": ("art_like", "lbm_like", "swim_like", "milc_like"),
+    "mix4_3": ("soplex_like", "milc_like", "equake_like", "swim_like"),
+    "mix4_4": ("ammp_like", "libquantum_like", "equake_like", "swim_like"),
+    "mix4_5": ("art_like", "ammp_like", "soplex_like", "equake_like"),
+    "mix4_6": ("hmmer_like", "twolf_like", "gcc_like", "h264_like"),
+    "mix4_7": ("soplex_like", "swim_like", "milc_like", "mcf_like"),
+    "mix4_8": ("equake_like", "lbm_like", "art_like", "omnetpp_like"),
+}
+
+_EIGHT: Dict[str, Tuple[str, ...]] = {
+    "mix8_1": (
+        "art_like", "swim_like", "ammp_like", "libquantum_like",
+        "soplex_like", "milc_like", "equake_like", "lbm_like",
+    ),
+    "mix8_2": (
+        "soplex_like", "ammp_like", "equake_like", "swim_like",
+        "lbm_like", "libquantum_like", "milc_like", "swim_like",
+    ),
+    "mix8_3": (
+        "hmmer_like", "twolf_like", "gcc_like", "h264_like",
+        "art_like", "swim_like", "sphinx_like", "omnetpp_like",
+    ),
+    "mix8_4": (
+        "equake_like", "soplex_like", "art_like", "ammp_like",
+        "libquantum_like", "milc_like", "mcf_like", "swim_like",
+    ),
+    "mix8_5": (
+        "soplex_like", "soplex_like", "ammp_like", "art_like",
+        "swim_like", "lbm_like", "milc_like", "libquantum_like",
+    ),
+    "mix8_6": (
+        "ammp_like", "soplex_like", "soplex_like", "equake_like",
+        "swim_like", "lbm_like", "libquantum_like", "milc_like",
+    ),
+}
+
+_TABLES: Dict[int, Dict[str, Tuple[str, ...]]] = {2: _DUAL, 4: _QUAD, 8: _EIGHT}
+
+
+def _validated() -> None:
+    for cores, table in _TABLES.items():
+        for mix_name, members in table.items():
+            if len(members) != cores:
+                raise WorkloadError(
+                    f"mix {mix_name!r} should have {cores} members, has {len(members)}"
+                )
+            for member in members:
+                benchmark(member)  # raises on unknown names
+
+
+_validated()
+
+
+def mix_names(num_cores: int) -> List[str]:
+    """Mix names defined for a core count (2, 4 or 8)."""
+    try:
+        table = _TABLES[num_cores]
+    except KeyError:
+        raise WorkloadError(
+            f"no mixes defined for {num_cores} cores; choose from {sorted(_TABLES)}"
+        ) from None
+    return sorted(table, key=lambda name: int(name.rsplit("_", 1)[1]))
+
+
+def mix_members(mix_name: str) -> Tuple[str, ...]:
+    """Benchmarks of a mix, one per core."""
+    for table in _TABLES.values():
+        if mix_name in table:
+            return table[mix_name]
+    known = [name for table in _TABLES.values() for name in table]
+    raise WorkloadError(f"unknown mix {mix_name!r}; known: {sorted(known)}")
+
+
+def all_mixes() -> Dict[int, List[str]]:
+    """All mix names keyed by core count."""
+    return {cores: mix_names(cores) for cores in sorted(_TABLES)}

@@ -1,0 +1,155 @@
+"""Access-pattern primitives for the synthetic workload generator.
+
+Each pattern models one *static access site* family — the accesses a
+small group of load/store PCs would issue — as a stateful stream that
+can produce its next ``count`` byte addresses as a vector.  Patterns are
+deterministic given their construction parameters and the generator's
+RNG, and they are the knobs through which the synthetic benchmarks
+obtain (or avoid) the two properties NUcache exploits: miss
+concentration in few PCs and short post-eviction next-use distances.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.common.errors import WorkloadError
+
+#: All patterns issue block-granular addresses with this default stride.
+DEFAULT_STRIDE = 64
+
+
+class AccessPattern(ABC):
+    """A stateful generator of byte addresses within one region."""
+
+    def __init__(self, base: int, region_bytes: int) -> None:
+        if base < 0:
+            raise WorkloadError(f"region base must be >= 0, got {base}")
+        if region_bytes <= 0:
+            raise WorkloadError(f"region size must be positive, got {region_bytes}")
+        self.base = base
+        self.region_bytes = region_bytes
+
+    @abstractmethod
+    def generate(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Produce the next ``count`` byte addresses (int64 vector)."""
+
+    def _check_count(self, count: int) -> None:
+        if count < 0:
+            raise WorkloadError(f"count must be >= 0, got {count}")
+
+
+class StridedLoop(AccessPattern):
+    """A strided walk that wraps at the region boundary.
+
+    With a region much larger than the cache this is a *stream* (no
+    temporal reuse at cache timescales); with a modest region it is a
+    *loop* whose reuse distance equals the region's footprint — the
+    canonical delinquent-PC shape when the footprint slightly exceeds
+    what LRU can hold.
+    """
+
+    def __init__(self, base: int, region_bytes: int, stride: int = DEFAULT_STRIDE) -> None:
+        super().__init__(base, region_bytes)
+        if stride <= 0:
+            raise WorkloadError(f"stride must be positive, got {stride}")
+        if region_bytes % stride != 0:
+            raise WorkloadError(
+                f"region ({region_bytes}) must be a multiple of stride ({stride})"
+            )
+        self.stride = stride
+        self._cursor = 0
+
+    def generate(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        self._check_count(count)
+        steps = self.region_bytes // self.stride
+        offsets = (self._cursor + np.arange(count, dtype=np.int64)) % steps
+        self._cursor = (self._cursor + count) % steps
+        return self.base + offsets * self.stride
+
+
+class UniformRandom(AccessPattern):
+    """Uniformly random block-aligned accesses within the region.
+
+    Reuse distances are geometric in the region size: a region a few
+    times the cache gives occasional, hard-to-time reuse (the "mcf"
+    flavour of badness); a region smaller than the cache is friendly.
+    """
+
+    def __init__(self, base: int, region_bytes: int, block_bytes: int = DEFAULT_STRIDE) -> None:
+        super().__init__(base, region_bytes)
+        if region_bytes < block_bytes:
+            raise WorkloadError(
+                f"region ({region_bytes}) smaller than one block ({block_bytes})"
+            )
+        self.block_bytes = block_bytes
+
+    def generate(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        self._check_count(count)
+        blocks = self.region_bytes // self.block_bytes
+        picks = rng.integers(0, blocks, size=count, dtype=np.int64)
+        return self.base + picks * self.block_bytes
+
+
+class PointerChase(AccessPattern):
+    """A walk along a fixed random permutation cycle over the region.
+
+    Every block is visited exactly once per lap (like a loop) but in an
+    address order with no spatial structure — the dependent-load shape.
+    The permutation is drawn once at construction so the chase is
+    repeatable lap after lap.
+    """
+
+    def __init__(
+        self,
+        base: int,
+        region_bytes: int,
+        rng: np.random.Generator,
+        block_bytes: int = DEFAULT_STRIDE,
+    ) -> None:
+        super().__init__(base, region_bytes)
+        blocks = region_bytes // block_bytes
+        if blocks <= 0:
+            raise WorkloadError(f"region ({region_bytes}) holds no blocks")
+        self.block_bytes = block_bytes
+        self._order = rng.permutation(blocks).astype(np.int64)
+        self._cursor = 0
+
+    def generate(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        self._check_count(count)
+        blocks = len(self._order)
+        positions = (self._cursor + np.arange(count, dtype=np.int64)) % blocks
+        self._cursor = (self._cursor + count) % blocks
+        return self.base + self._order[positions] * self.block_bytes
+
+
+class HotSpot(AccessPattern):
+    """Skewed accesses over a small region (approximate Zipf).
+
+    Models stack/globals traffic: almost always hits the upper levels,
+    contributing the high-hit-rate PC population that makes delinquent
+    PCs a small *fraction* of all PCs.
+    """
+
+    def __init__(
+        self,
+        base: int,
+        region_bytes: int,
+        block_bytes: int = DEFAULT_STRIDE,
+        skew: float = 1.2,
+    ) -> None:
+        super().__init__(base, region_bytes)
+        if skew <= 0:
+            raise WorkloadError(f"skew must be positive, got {skew}")
+        blocks = max(1, region_bytes // block_bytes)
+        ranks = np.arange(1, blocks + 1, dtype=np.float64)
+        weights = ranks ** (-skew)
+        self._cdf = np.cumsum(weights / weights.sum())
+        self.block_bytes = block_bytes
+
+    def generate(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        self._check_count(count)
+        picks = np.searchsorted(self._cdf, rng.random(count)).astype(np.int64)
+        return self.base + picks * self.block_bytes

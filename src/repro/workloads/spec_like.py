@@ -1,0 +1,295 @@
+"""Catalog of SPEC-like synthetic benchmarks.
+
+Each entry models the memory behaviour *class* of a well-known SPEC
+CPU2000/2006 benchmark (names carry a ``_like`` suffix because only the
+statistical shape is claimed, not the program).  Footprints are chosen
+relative to the scaled evaluation machine (256 KB LLC per core — 4096
+lines; 64 KB private L2 — 1024 lines; see DESIGN.md).
+
+The classes, and why each exists in the study:
+
+* **delinquent-friendly** (``art_like``, ``ammp_like``, ``soplex_like``,
+  ``equake_like``): a loop whose footprint slightly exceeds what LRU can
+  retain under the program's own streaming traffic — short post-eviction
+  next-use, exactly the property NUcache converts into DeliWay hits.
+* **streaming** (``swim_like``, ``libquantum_like``, ``lbm_like``,
+  ``milc_like``): the LLC is nearly useless; a policy must avoid losing
+  capacity to these.
+* **irregular** (``mcf_like``, ``omnetpp_like``): pointer chases and
+  large random regions; high miss PCs whose next use is *far* — the case
+  where naive "retain the top missers" fails but cost-benefit selection
+  correctly declines.
+* **cache-friendly** (``h264_like``, ``hmmer_like``, ``twolf_like``,
+  ``gcc_like``): most reuse is captured by LRU already; a good policy
+  must not regress them.
+* **partition-friendly** (``sphinx_like``, ``vortex_like``): fit the LLC
+  when alone but are destroyed by sharing — the case UCP/PIPP exist for.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.common.errors import WorkloadError
+from repro.workloads.synthetic import BenchmarkSpec, StreamSpec
+
+KB = 1024
+MB = 1024 * KB
+
+_CATALOG: Dict[str, BenchmarkSpec] = {}
+_CLASSES: Dict[str, str] = {}
+
+
+def _register(spec: BenchmarkSpec, klass: str) -> None:
+    _CATALOG[spec.name] = spec
+    _CLASSES[spec.name] = klass
+
+
+# --- delinquent-friendly -------------------------------------------------
+
+_register(
+    BenchmarkSpec(
+        "art_like",
+        (
+            StreamSpec("loop", region_bytes=112 * KB, weight=0.30, num_pcs=1),
+            StreamSpec("loop", region_bytes=64 * MB, weight=0.55, num_pcs=1),
+            StreamSpec("hot", region_bytes=8 * KB, weight=0.15),
+        ),
+        instruction_gap=2,
+    ),
+    "delinquent",
+)
+
+_register(
+    BenchmarkSpec(
+        "ammp_like",
+        (
+            StreamSpec("loop", region_bytes=224 * KB, weight=0.40, num_pcs=2),
+            StreamSpec("loop", region_bytes=64 * MB, weight=0.40, num_pcs=1),
+            StreamSpec("hot", region_bytes=8 * KB, weight=0.20),
+        ),
+        instruction_gap=2,
+    ),
+    "delinquent",
+)
+
+_register(
+    BenchmarkSpec(
+        "soplex_like",
+        (
+            StreamSpec("loop", region_bytes=200 * KB, weight=0.40, num_pcs=2),
+            StreamSpec("random", region_bytes=2 * MB, weight=0.25),
+            StreamSpec("hot", region_bytes=16 * KB, weight=0.35),
+        ),
+        instruction_gap=3,
+    ),
+    "delinquent",
+)
+
+_register(
+    BenchmarkSpec(
+        "equake_like",
+        (
+            StreamSpec("chase", region_bytes=128 * KB, weight=0.33),
+            StreamSpec("loop", region_bytes=64 * MB, weight=0.45, num_pcs=2),
+            StreamSpec("hot", region_bytes=8 * KB, weight=0.22),
+        ),
+        instruction_gap=2,
+    ),
+    "delinquent",
+)
+
+# --- streaming -----------------------------------------------------------
+
+_register(
+    BenchmarkSpec(
+        "swim_like",
+        (
+            StreamSpec("loop", region_bytes=64 * MB, weight=0.40, num_pcs=1),
+            StreamSpec("loop", region_bytes=48 * MB, weight=0.35, num_pcs=2),
+            StreamSpec("hot", region_bytes=8 * KB, weight=0.25),
+        ),
+        instruction_gap=2,
+    ),
+    "streaming",
+)
+
+_register(
+    BenchmarkSpec(
+        "libquantum_like",
+        (
+            StreamSpec("loop", region_bytes=96 * MB, weight=0.75, num_pcs=1),
+            StreamSpec("hot", region_bytes=4 * KB, weight=0.25),
+        ),
+        instruction_gap=2,
+    ),
+    "streaming",
+)
+
+_register(
+    BenchmarkSpec(
+        "lbm_like",
+        (
+            StreamSpec("loop", region_bytes=80 * MB, weight=0.55, num_pcs=2,
+                       write_fraction=0.5),
+            StreamSpec("loop", region_bytes=16 * KB, weight=0.20),
+            StreamSpec("hot", region_bytes=8 * KB, weight=0.25),
+        ),
+        instruction_gap=2,
+    ),
+    "streaming",
+)
+
+_register(
+    BenchmarkSpec(
+        "milc_like",
+        (
+            StreamSpec("loop", region_bytes=48 * MB, weight=0.45, num_pcs=1),
+            StreamSpec("random", region_bytes=8 * MB, weight=0.25),
+            StreamSpec("hot", region_bytes=8 * KB, weight=0.30),
+        ),
+        instruction_gap=3,
+    ),
+    "streaming",
+)
+
+# --- irregular -----------------------------------------------------------
+
+_register(
+    BenchmarkSpec(
+        "mcf_like",
+        (
+            StreamSpec("chase", region_bytes=16 * MB, weight=0.50),
+            StreamSpec("loop", region_bytes=48 * KB, weight=0.22),
+            StreamSpec("hot", region_bytes=8 * KB, weight=0.28),
+        ),
+        instruction_gap=2,
+    ),
+    "irregular",
+)
+
+_register(
+    BenchmarkSpec(
+        "omnetpp_like",
+        (
+            StreamSpec("random", region_bytes=768 * KB, weight=0.40),
+            StreamSpec("loop", region_bytes=96 * KB, weight=0.25, num_pcs=1),
+            StreamSpec("hot", region_bytes=16 * KB, weight=0.35),
+        ),
+        instruction_gap=3,
+    ),
+    "irregular",
+)
+
+# --- cache-friendly ------------------------------------------------------
+
+_register(
+    BenchmarkSpec(
+        "h264_like",
+        (
+            StreamSpec("hot", region_bytes=16 * KB, weight=0.55),
+            StreamSpec("loop", region_bytes=32 * KB, weight=0.30, num_pcs=2),
+            StreamSpec("loop", region_bytes=32 * MB, weight=0.15, num_pcs=1),
+        ),
+        instruction_gap=4,
+    ),
+    "friendly",
+)
+
+_register(
+    BenchmarkSpec(
+        "hmmer_like",
+        (
+            StreamSpec("hot", region_bytes=32 * KB, weight=0.75),
+            StreamSpec("loop", region_bytes=48 * KB, weight=0.25, num_pcs=1),
+        ),
+        instruction_gap=4,
+    ),
+    "friendly",
+)
+
+_register(
+    BenchmarkSpec(
+        "twolf_like",
+        (
+            StreamSpec("random", region_bytes=96 * KB, weight=0.45),
+            StreamSpec("hot", region_bytes=16 * KB, weight=0.55),
+        ),
+        instruction_gap=3,
+    ),
+    "friendly",
+)
+
+_register(
+    BenchmarkSpec(
+        "gcc_like",
+        (
+            StreamSpec("loop", region_bytes=64 * KB, weight=0.30, num_pcs=4),
+            StreamSpec("random", region_bytes=64 * KB, weight=0.25, num_pcs=4),
+            StreamSpec("hot", region_bytes=24 * KB, weight=0.45),
+        ),
+        instruction_gap=3,
+    ),
+    "friendly",
+)
+
+# --- partition-friendly --------------------------------------------------
+
+_register(
+    BenchmarkSpec(
+        "sphinx_like",
+        (
+            StreamSpec("loop", region_bytes=112 * KB, weight=0.55, num_pcs=1),
+            StreamSpec("hot", region_bytes=16 * KB, weight=0.45),
+        ),
+        instruction_gap=3,
+    ),
+    "partition",
+)
+
+_register(
+    BenchmarkSpec(
+        "vortex_like",
+        (
+            StreamSpec("loop", region_bytes=144 * KB, weight=0.40, num_pcs=2),
+            StreamSpec("random", region_bytes=64 * KB, weight=0.20),
+            StreamSpec("hot", region_bytes=16 * KB, weight=0.40),
+        ),
+        instruction_gap=3,
+    ),
+    "partition",
+)
+
+
+def benchmark(name: str) -> BenchmarkSpec:
+    """Look up a benchmark spec by name."""
+    try:
+        return _CATALOG[name]
+    except KeyError:
+        known = ", ".join(sorted(_CATALOG))
+        raise WorkloadError(f"unknown benchmark {name!r}; known: {known}") from None
+
+
+def benchmark_names() -> List[str]:
+    """All benchmark names, sorted."""
+    return sorted(_CATALOG)
+
+
+def benchmark_class(name: str) -> str:
+    """The behaviour class of a benchmark (see module docstring)."""
+    benchmark(name)  # raises on unknown names
+    return _CLASSES[name]
+
+
+def benchmarks_in_class(klass: str) -> List[str]:
+    """All benchmarks of one behaviour class, sorted."""
+    names = sorted(name for name, k in _CLASSES.items() if k == klass)
+    if not names:
+        known = ", ".join(sorted(set(_CLASSES.values())))
+        raise WorkloadError(f"unknown class {klass!r}; known: {known}")
+    return names
+
+
+def catalog() -> List[Tuple[str, str, BenchmarkSpec]]:
+    """The full catalog as (name, class, spec) rows."""
+    return [(name, _CLASSES[name], _CATALOG[name]) for name in sorted(_CATALOG)]

@@ -1,0 +1,178 @@
+"""Text trace interchange and trace transformations.
+
+Besides the native ``.npz`` format, traces can be exchanged in a simple
+line-oriented text format (one access per line)::
+
+    # name: my_workload
+    # instruction_gap: 3
+    R 0x7f001040 0x400812
+    W 0x7f001080 0x400824
+
+— operation (``R``/``W``), byte address, PC; ``#`` lines are comments,
+the two header comments are optional.  This is the import path for
+traces captured with external tools (Pin/DynamoRIO-style pintools print
+exactly this shape).
+
+Also here: structural transformations used by the harness — slicing by
+window, systematic downsampling, and interleaved merging for building
+a multiprogrammed trace by hand.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Sequence, Union
+
+import numpy as np
+
+from repro.common.errors import TraceError
+from repro.workloads.trace import Trace
+
+
+def save_text(trace: Trace, path: Union[str, Path]) -> None:
+    """Write a trace in the text interchange format."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(f"# name: {trace.name}\n")
+        handle.write(f"# instruction_gap: {trace.instruction_gap}\n")
+        for address, pc, is_write in zip(
+            trace.addresses.tolist(), trace.pcs.tolist(), trace.is_write.tolist()
+        ):
+            op = "W" if is_write else "R"
+            handle.write(f"{op} {address:#x} {pc:#x}\n")
+
+
+def load_text(path: Union[str, Path], name: str = "") -> Trace:
+    """Read a trace from the text interchange format.
+
+    Args:
+        path: file to read.
+        name: trace name; overrides any ``# name:`` header when given.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"trace file not found: {path}")
+    header_name = path.stem
+    gap = 3
+    addresses: List[int] = []
+    pcs: List[int] = []
+    writes: List[bool] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                body = line[1:].strip()
+                if body.startswith("name:"):
+                    header_name = body[len("name:"):].strip()
+                elif body.startswith("instruction_gap:"):
+                    try:
+                        gap = int(body[len("instruction_gap:"):].strip())
+                    except ValueError:
+                        raise TraceError(
+                            f"{path}:{line_number}: bad instruction_gap header"
+                        ) from None
+                continue
+            parts = line.split()
+            if len(parts) != 3:
+                raise TraceError(
+                    f"{path}:{line_number}: expected 'R|W addr pc', got {line!r}"
+                )
+            op, addr_text, pc_text = parts
+            if op not in ("R", "W", "r", "w"):
+                raise TraceError(f"{path}:{line_number}: bad op {op!r}")
+            try:
+                addresses.append(int(addr_text, 0))
+                pcs.append(int(pc_text, 0))
+            except ValueError:
+                raise TraceError(
+                    f"{path}:{line_number}: bad address or pc in {line!r}"
+                ) from None
+            writes.append(op in ("W", "w"))
+    if not addresses:
+        raise TraceError(f"{path}: no accesses found")
+    return Trace(
+        name or header_name,
+        np.array(addresses, dtype=np.int64),
+        np.array(pcs, dtype=np.int64),
+        np.array(writes, dtype=bool),
+        instruction_gap=gap,
+    )
+
+
+def window(trace: Trace, start: int, length: int) -> Trace:
+    """A contiguous slice of a trace (e.g. one phase)."""
+    if start < 0 or length <= 0 or start + length > len(trace):
+        raise TraceError(
+            f"window [{start}, {start + length}) out of range for "
+            f"{len(trace)}-access trace"
+        )
+    stop = start + length
+    return Trace(
+        f"{trace.name}[{start}:{stop}]",
+        trace.addresses[start:stop],
+        trace.pcs[start:stop],
+        trace.is_write[start:stop],
+        trace.instruction_gap,
+    )
+
+
+def downsample(trace: Trace, period: int) -> Trace:
+    """Keep every ``period``-th access (systematic sampling).
+
+    The instruction gap is scaled up so the sampled trace still
+    represents roughly the original instruction count.
+    """
+    if period <= 0:
+        raise TraceError(f"period must be positive, got {period}")
+    if period == 1:
+        return trace
+    if len(trace) < period:
+        raise TraceError(
+            f"cannot downsample a {len(trace)}-access trace by {period}"
+        )
+    new_gap = (trace.instruction_gap + 1) * period - 1
+    return Trace(
+        f"{trace.name}/ds{period}",
+        trace.addresses[::period],
+        trace.pcs[::period],
+        trace.is_write[::period],
+        instruction_gap=new_gap,
+    )
+
+
+def interleave(traces: Sequence[Trace], name: str = "interleaved") -> Trace:
+    """Round-robin merge of several traces into one.
+
+    Useful for handcrafting a single-core trace with phase mixing; the
+    multicore engine does *not* need this (it interleaves by clock).
+    The result is truncated to the shortest input times the trace count
+    and inherits the first trace's instruction gap.
+    """
+    if not traces:
+        raise TraceError("need at least one trace to interleave")
+    shortest = min(len(trace) for trace in traces)
+    k = len(traces)
+    addresses = np.empty(shortest * k, dtype=np.int64)
+    pcs = np.empty(shortest * k, dtype=np.int64)
+    writes = np.empty(shortest * k, dtype=bool)
+    for offset, trace in enumerate(traces):
+        addresses[offset::k] = trace.addresses[:shortest]
+        pcs[offset::k] = trace.pcs[:shortest]
+        writes[offset::k] = trace.is_write[:shortest]
+    return Trace(name, addresses, pcs, writes, traces[0].instruction_gap)
+
+
+def concatenate(traces: Iterable[Trace], name: str = "phases") -> Trace:
+    """Join traces back to back (phase behaviour)."""
+    traces = list(traces)
+    if not traces:
+        raise TraceError("need at least one trace to concatenate")
+    return Trace(
+        name,
+        np.concatenate([trace.addresses for trace in traces]),
+        np.concatenate([trace.pcs for trace in traces]),
+        np.concatenate([trace.is_write for trace in traces]),
+        traces[0].instruction_gap,
+    )

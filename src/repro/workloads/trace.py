@@ -1,0 +1,144 @@
+"""Memory-access traces.
+
+A :class:`Trace` is the unit of workload in this library: a sequence of
+(byte address, program counter, is_write) triples plus the number of
+non-memory instructions between consecutive accesses (the timing model's
+compute component).  Traces are stored as parallel numpy arrays and can
+be saved/loaded as ``.npz`` files so expensive generations can be reused
+across experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.common.addr import log2_exact
+from repro.common.errors import TraceError
+
+
+@dataclass
+class Trace:
+    """One core's memory-access trace.
+
+    Attributes:
+        name: workload name (used for caching and reports).
+        addresses: byte addresses, ``int64``.
+        pcs: program counter of each access, ``int64``.
+        is_write: write flag per access.
+        instruction_gap: non-memory instructions executed between
+            consecutive accesses (so the trace represents
+            ``len(trace) * (instruction_gap + 1)`` instructions).
+    """
+
+    name: str
+    addresses: np.ndarray
+    pcs: np.ndarray
+    is_write: np.ndarray
+    instruction_gap: int = 3
+
+    def __post_init__(self) -> None:
+        self.addresses = np.ascontiguousarray(self.addresses, dtype=np.int64)
+        self.pcs = np.ascontiguousarray(self.pcs, dtype=np.int64)
+        self.is_write = np.ascontiguousarray(self.is_write, dtype=bool)
+        if not (len(self.addresses) == len(self.pcs) == len(self.is_write)):
+            raise TraceError(
+                f"trace '{self.name}': array lengths differ "
+                f"({len(self.addresses)}, {len(self.pcs)}, {len(self.is_write)})"
+            )
+        if len(self.addresses) == 0:
+            raise TraceError(f"trace '{self.name}' is empty")
+        if self.instruction_gap < 0:
+            raise TraceError(
+                f"trace '{self.name}': instruction_gap must be >= 0, "
+                f"got {self.instruction_gap}"
+            )
+        if int(self.addresses.min()) < 0:
+            raise TraceError(f"trace '{self.name}' contains negative addresses")
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+    @property
+    def instructions(self) -> int:
+        """Total instructions the trace represents."""
+        return len(self) * (self.instruction_gap + 1)
+
+    def block_addresses(self, block_bytes: int) -> np.ndarray:
+        """Block-aligned addresses for a given line size."""
+        return self.addresses >> log2_exact(block_bytes)
+
+    def footprint_blocks(self, block_bytes: int) -> int:
+        """Number of distinct blocks touched."""
+        return int(np.unique(self.block_addresses(block_bytes)).shape[0])
+
+    def unique_pcs(self) -> int:
+        """Number of distinct PCs in the trace."""
+        return int(np.unique(self.pcs).shape[0])
+
+    def head(self, count: int) -> "Trace":
+        """A trace consisting of the first ``count`` accesses."""
+        if count <= 0:
+            raise TraceError(f"head count must be positive, got {count}")
+        count = min(count, len(self))
+        return Trace(
+            self.name,
+            self.addresses[:count],
+            self.pcs[:count],
+            self.is_write[:count],
+            self.instruction_gap,
+        )
+
+    def relocated(self, tag: int, tag_shift: int = 44) -> "Trace":
+        """The same trace in a disjoint address/PC space.
+
+        Used when the same workload runs on several cores of a mix: each
+        instance is offset so cores never accidentally share lines.
+        """
+        if tag < 0:
+            raise TraceError(f"relocation tag must be >= 0, got {tag}")
+        offset = np.int64(tag) << np.int64(tag_shift)
+        return Trace(
+            self.name,
+            self.addresses + offset,
+            self.pcs + offset,
+            self.is_write,
+            self.instruction_gap,
+        )
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the trace to a ``.npz`` file."""
+        np.savez_compressed(
+            Path(path),
+            name=np.array(self.name),
+            addresses=self.addresses,
+            pcs=self.pcs,
+            is_write=self.is_write,
+            instruction_gap=np.array(self.instruction_gap),
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Trace":
+        """Read a trace previously written by :meth:`save`."""
+        path = Path(path)
+        if not path.exists():
+            raise TraceError(f"trace file not found: {path}")
+        with np.load(path, allow_pickle=False) as data:
+            return cls(
+                str(data["name"]),
+                data["addresses"],
+                data["pcs"],
+                data["is_write"],
+                int(data["instruction_gap"]),
+            )
+
+    def describe(self, block_bytes: int = 64) -> str:
+        """One-line human summary (used by the exploration example)."""
+        return (
+            f"{self.name}: {len(self)} accesses, {self.unique_pcs()} PCs, "
+            f"{self.footprint_blocks(block_bytes)} blocks touched, "
+            f"gap={self.instruction_gap}"
+        )

@@ -1,0 +1,60 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.config import CacheGeometry, tiny_system_config
+from repro.workloads.trace import Trace
+
+
+@pytest.fixture
+def tiny_config():
+    """A small single-core system config for fast tests."""
+    return tiny_system_config(1)
+
+
+@pytest.fixture
+def tiny_geometry():
+    """A 4-set, 4-way, 64 B-line cache geometry."""
+    return CacheGeometry(size_bytes=4 * 4 * 64, block_bytes=64, ways=4)
+
+
+def make_trace(blocks, name="t", pcs=None, writes=None, gap=0, block_bytes=64):
+    """Build a Trace from a list of block numbers (addresses = block*64)."""
+    blocks = list(blocks)
+    addresses = np.array([b * block_bytes for b in blocks], dtype=np.int64)
+    if pcs is None:
+        pcs = [0] * len(blocks)
+    if writes is None:
+        writes = [False] * len(blocks)
+    return Trace(
+        name,
+        addresses,
+        np.array(pcs, dtype=np.int64),
+        np.array(writes, dtype=bool),
+        instruction_gap=gap,
+    )
+
+
+class ReferenceLRUCache:
+    """Brute-force fully-explicit LRU cache used as a test oracle."""
+
+    def __init__(self, num_sets: int, ways: int) -> None:
+        self.num_sets = num_sets
+        self.ways = ways
+        self.sets = [[] for _ in range(num_sets)]  # list of tags, MRU first
+
+    def access(self, block_addr: int) -> bool:
+        index = block_addr % self.num_sets
+        tag = block_addr // self.num_sets
+        tags = self.sets[index]
+        if tag in tags:
+            tags.remove(tag)
+            tags.insert(0, tag)
+            return True
+        tags.insert(0, tag)
+        if len(tags) > self.ways:
+            tags.pop()
+        return False

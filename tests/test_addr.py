@@ -1,0 +1,83 @@
+"""Tests for repro.common.addr."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.addr import (
+    block_address,
+    is_power_of_two,
+    log2_exact,
+    rebuild_block_address,
+    set_index,
+    tag_of,
+)
+
+
+class TestIsPowerOfTwo:
+    def test_powers(self):
+        for exponent in range(20):
+            assert is_power_of_two(1 << exponent)
+
+    def test_non_powers(self):
+        for value in (0, 3, 5, 6, 7, 9, 12, 100, 1000):
+            assert not is_power_of_two(value)
+
+    def test_negative(self):
+        assert not is_power_of_two(-4)
+
+
+class TestLog2Exact:
+    def test_exact_values(self):
+        assert log2_exact(1) == 0
+        assert log2_exact(2) == 1
+        assert log2_exact(64) == 6
+        assert log2_exact(1 << 30) == 30
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            log2_exact(48)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            log2_exact(0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            log2_exact(-2)
+
+
+class TestBlockAddress:
+    def test_strips_offset(self):
+        assert block_address(0, 64) == 0
+        assert block_address(63, 64) == 0
+        assert block_address(64, 64) == 1
+        assert block_address(130, 64) == 2
+
+    def test_other_block_sizes(self):
+        assert block_address(1024, 128) == 8
+        assert block_address(1023, 1024) == 0
+
+
+class TestSetIndexAndTag:
+    def test_set_index(self):
+        assert set_index(0, 16) == 0
+        assert set_index(17, 16) == 1
+        assert set_index(31, 16) == 15
+
+    def test_tag(self):
+        assert tag_of(0, 16) == 0
+        assert tag_of(17, 16) == 1
+        assert tag_of(16 * 5 + 3, 16) == 5
+
+    @given(st.integers(min_value=0, max_value=2**48), st.sampled_from([1, 2, 16, 256, 4096]))
+    def test_roundtrip(self, block, num_sets):
+        index = set_index(block, num_sets)
+        tag = tag_of(block, num_sets)
+        assert rebuild_block_address(tag, index, num_sets) == block
+
+    @given(st.integers(min_value=0, max_value=2**48), st.sampled_from([2, 16, 256]))
+    def test_index_in_range(self, block, num_sets):
+        assert 0 <= set_index(block, num_sets) < num_sets

@@ -1,0 +1,134 @@
+"""Tests for the reuse-distance analyzer and workload characterization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.characterize import (
+    characterize_benchmark,
+    characterize_trace,
+    lru_capacity_for_hit_ratio,
+)
+from repro.analysis.reuse import COLD_DISTANCE, analyze, reuse_distances
+
+from conftest import make_trace
+
+
+def brute_force_distances(blocks):
+    """O(n^2) reference: distinct blocks since the previous touch."""
+    result = []
+    for index, block in enumerate(blocks):
+        previous = None
+        for back in range(index - 1, -1, -1):
+            if blocks[back] == block:
+                previous = back
+                break
+        if previous is None:
+            result.append(COLD_DISTANCE)
+        else:
+            result.append(len(set(blocks[previous + 1:index])))
+    return result
+
+
+class TestReuseDistances:
+    def test_cold_accesses(self):
+        assert reuse_distances([1, 2, 3]).tolist() == [COLD_DISTANCE] * 3
+
+    def test_immediate_reuse(self):
+        assert reuse_distances([1, 1]).tolist() == [COLD_DISTANCE, 0]
+
+    def test_classic_example(self):
+        # a b c b a : b at distance 1, a at distance 2
+        distances = reuse_distances([1, 2, 3, 2, 1])
+        assert distances.tolist() == [COLD_DISTANCE, COLD_DISTANCE, COLD_DISTANCE, 1, 2]
+
+    def test_repeated_block_not_double_counted(self):
+        # a b b a : only one distinct block between the two a's.
+        assert reuse_distances([1, 2, 2, 1]).tolist()[-1] == 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 12), min_size=1, max_size=120))
+    def test_matches_bruteforce(self, blocks):
+        fast = reuse_distances(blocks).tolist()
+        assert fast == brute_force_distances(blocks)
+
+
+class TestReuseProfile:
+    def test_miss_ratio_loop(self):
+        # A loop of 4 blocks repeated: all warm distances are 3.
+        blocks = [0, 1, 2, 3] * 10
+        profile = analyze(blocks)
+        assert profile.miss_ratio(4) == pytest.approx(4 / 40)  # cold only
+        assert profile.miss_ratio(3) == 1.0  # loop bigger than cache
+
+    def test_miss_ratio_monotone_in_capacity(self):
+        blocks = ([0, 1, 2, 3, 4, 5] * 5) + list(range(100, 130))
+        profile = analyze(blocks)
+        ratios = profile.miss_ratio_curve([1, 2, 4, 8, 16, 32])
+        assert all(a >= b for a, b in zip(ratios, ratios[1:]))
+
+    def test_histogram_partitions_accesses(self):
+        blocks = [0, 1, 0, 2, 0, 3, 0]
+        profile = analyze(blocks)
+        histogram = profile.histogram([1, 2])
+        assert histogram.sum() == len(blocks)
+        assert histogram[0] == 4  # cold
+
+    def test_percentile(self):
+        profile = analyze([0, 1, 2, 3] * 10)
+        assert profile.percentile(50) == 3
+
+    def test_percentile_no_reuse(self):
+        assert analyze([0, 1, 2]).percentile(50) is None
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            analyze([0]).miss_ratio(0)
+
+    def test_footprint(self):
+        assert analyze([5, 5, 6, 7, 6]).footprint == 3
+
+
+class TestCapacitySearch:
+    def test_finds_loop_capacity(self):
+        profile = analyze([0, 1, 2, 3] * 50)
+        # 90% hit ratio achievable exactly once the loop fits.
+        assert lru_capacity_for_hit_ratio(profile, 0.9) == 4
+
+    def test_stream_unreachable(self):
+        profile = analyze(list(range(1000)))
+        assert lru_capacity_for_hit_ratio(profile, 0.5, max_capacity=64) == 64
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            lru_capacity_for_hit_ratio(analyze([0]), 0.0)
+
+
+class TestCharacterize:
+    def test_trace_character(self):
+        trace = make_trace([0, 1, 0, 1, 2], pcs=[7, 8, 7, 8, 9],
+                           writes=[True, False, False, False, False])
+        character = characterize_trace(trace)
+        assert character.accesses == 5
+        assert character.footprint_blocks == 3
+        assert character.unique_pcs == 3
+        assert character.write_fraction == pytest.approx(0.2)
+        assert "blocks" in character.describe()
+        assert character.pc_access_shares[0][1] == pytest.approx(0.4)
+
+    def test_benchmark_classes_have_expected_curves(self):
+        # The friendly benchmark nearly fits 4096 lines; streaming never does.
+        friendly = characterize_benchmark("twolf_like", accesses=20_000)
+        streaming = characterize_benchmark("libquantum_like", accesses=20_000)
+        assert friendly.miss_ratio_curve[4096] < 0.15
+        assert streaming.miss_ratio_curve[8192] > 0.6
+
+    def test_delinquent_loop_is_marginal(self):
+        """The delinquent class is calibrated to miss at the LLC slice
+        but be capturable within ~2x — verify with exact analysis."""
+        character = characterize_benchmark("art_like", accesses=30_000)
+        assert character.miss_ratio_curve[4096] > 0.4
+        assert character.miss_ratio_curve[8192] < character.miss_ratio_curve[2048]

@@ -1,0 +1,90 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_experiments(self):
+        args = build_parser().parse_args(["run", "fig5", "fig6"])
+        assert args.experiments == ["fig5", "fig6"]
+
+    def test_sim_requires_target(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sim"])
+
+    def test_sim_mix_and_benchmark_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sim", "--mix", "mix2_1", "--benchmark", "art_like"]
+            )
+
+    def test_sim_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sim", "--mix", "mix2_1", "--policy", "magic"])
+
+
+class TestExecution:
+    def test_list_runs(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "experiments:" in out
+        assert "art_like" in out
+        assert "mix4_1" in out
+
+    def test_run_table(self, capsys):
+        assert main(["run", "table1"]) == 0
+        assert "Simulated system configuration" in capsys.readouterr().out
+
+    def test_sim_benchmark(self, capsys):
+        assert main([
+            "sim", "--benchmark", "hmmer_like", "--policy", "lru",
+            "--accesses", "5000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "hmmer_like under lru" in out
+        assert "ipc=" in out
+
+    def test_sim_mix(self, capsys):
+        assert main([
+            "sim", "--mix", "mix2_9", "--policy", "lru", "--accesses", "5000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "weighted speedup" in out
+
+
+class TestNewSubcommands:
+    def test_characterize(self, capsys):
+        assert main(["characterize", "hmmer_like", "--accesses", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert "hmmer_like:" in out
+        assert "miss ratio" in out
+        assert "pc 0x" in out
+
+    def test_trace_export_text(self, tmp_path, capsys):
+        out_file = tmp_path / "t.trace"
+        assert main(["trace", "hmmer_like", "-o", str(out_file),
+                     "--accesses", "500"]) == 0
+        assert out_file.exists()
+        from repro.workloads.textio import load_text
+
+        assert len(load_text(out_file)) == 500
+
+    def test_trace_export_npz(self, tmp_path):
+        out_file = tmp_path / "t.npz"
+        assert main(["trace", "twolf_like", "-o", str(out_file),
+                     "--accesses", "500"]) == 0
+        from repro.workloads.trace import Trace
+
+        assert len(Trace.load(out_file)) == 500

@@ -1,0 +1,114 @@
+"""End-to-end integration tests across the whole stack.
+
+These run real (but short) simulations through the public API and check
+the qualitative results the reproduction stands on.  Trace lengths are
+chosen to keep the whole file under ~1 minute.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    alone_ipc,
+    mix_members,
+    run_mix,
+    run_single,
+    run_workload,
+    weighted_speedup,
+)
+
+ACCESSES = 60_000
+
+
+@pytest.fixture(scope="module")
+def art_results():
+    """LRU and NUcache single-core runs on the flagship benchmark."""
+    return {
+        policy: run_single("art_like", policy, ACCESSES)
+        for policy in ("lru", "nucache")
+    }
+
+
+class TestSingleCore:
+    def test_nucache_beats_lru_on_delinquent_benchmark(self, art_results):
+        lru = art_results["lru"].cores[0]
+        nuca = art_results["nucache"].cores[0]
+        assert nuca.ipc > lru.ipc * 1.15
+        assert nuca.llc_misses < lru.llc_misses
+
+    def test_deliways_actually_used(self, art_results):
+        extra = art_results["nucache"].llc_extra
+        assert extra["deli_hits"] > 1000
+        assert extra["retentions"] >= extra["deli_hits"]
+
+    def test_parity_on_cache_friendly_benchmark(self):
+        lru = run_single("hmmer_like", "lru", ACCESSES).cores[0]
+        nuca = run_single("hmmer_like", "nucache", ACCESSES).cores[0]
+        assert nuca.ipc == pytest.approx(lru.ipc, rel=0.03)
+
+    def test_no_gain_no_loss_on_pure_stream(self):
+        lru = run_single("libquantum_like", "lru", ACCESSES).cores[0]
+        nuca = run_single("libquantum_like", "nucache", ACCESSES).cores[0]
+        assert nuca.ipc == pytest.approx(lru.ipc, rel=0.03)
+
+    def test_zero_deliways_matches_lru_end_to_end(self):
+        lru = run_single("art_like", "lru", ACCESSES).cores[0]
+        nuca = run_single("art_like", "nucache", ACCESSES, deli_ways=0).cores[0]
+        assert nuca.llc_misses == lru.llc_misses
+        assert nuca.ipc == pytest.approx(lru.ipc)
+
+
+class TestMulticore:
+    def test_nucache_improves_quad_mix(self):
+        members = mix_members("mix4_1")
+        alone = [alone_ipc(name, 4, ACCESSES) for name in members]
+        base = run_mix("mix4_1", "lru", ACCESSES)
+        nuca = run_mix("mix4_1", "nucache", ACCESSES)
+        base_ws = weighted_speedup(base.ipcs, alone)
+        nuca_ws = weighted_speedup(nuca.ipcs, alone)
+        assert nuca_ws > base_ws * 1.05
+
+    def test_weighted_speedup_bounded_by_core_count(self):
+        members = mix_members("mix2_9")
+        alone = [alone_ipc(name, 2, ACCESSES) for name in members]
+        result = run_mix("mix2_9", "lru", ACCESSES)
+        assert weighted_speedup(result.ipcs, alone) <= 2.05
+
+    def test_ucp_protects_partition_friendly_core(self):
+        # sphinx fits its share; swim streams.  UCP must not let swim
+        # take sphinx's capacity.
+        members = ("sphinx_like", "swim_like")
+        base = run_workload(members, "lru", accesses=ACCESSES)
+        ucp = run_workload(members, "ucp", accesses=ACCESSES)
+        assert ucp.core(0).ipc >= base.core(0).ipc * 0.98
+
+    def test_relocation_prevents_sharing(self):
+        # The same benchmark on both cores must not share LLC lines.
+        result = run_workload(("art_like", "art_like"), "lru", accesses=20_000)
+        occupancy = result.llc_occupancy_by_core
+        assert occupancy.get(0, 0) > 0 and occupancy.get(1, 0) > 0
+
+    def test_alone_ipc_memoized(self):
+        first = alone_ipc("twolf_like", 2, 20_000)
+        second = alone_ipc("twolf_like", 2, 20_000)
+        assert first == second
+
+    def test_occupancy_reported_for_all_policies(self):
+        for policy in ("lru", "ucp", "pipp", "nucache"):
+            result = run_workload(("art_like", "swim_like"), policy,
+                                  accesses=20_000)
+            assert sum(result.llc_occupancy_by_core.values()) > 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        a = run_single("omnetpp_like", "nucache", 20_000, seed=7)
+        b = run_single("omnetpp_like", "nucache", 20_000, seed=7)
+        assert a.cores[0].ipc == b.cores[0].ipc
+        assert a.cores[0].llc_misses == b.cores[0].llc_misses
+
+    def test_different_seed_different_trace(self):
+        a = run_single("omnetpp_like", "lru", 20_000, seed=7)
+        b = run_single("omnetpp_like", "lru", 20_000, seed=8)
+        assert a.cores[0].llc_misses != b.cores[0].llc_misses

@@ -1,0 +1,103 @@
+"""Tests for the metrics modules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.basic import hit_rate, miss_reduction, mpki
+from repro.metrics.multicore import (
+    average_normalized_turnaround,
+    fairness,
+    geometric_mean,
+    harmonic_mean_speedup,
+    improvement,
+    weighted_speedup,
+)
+
+
+class TestBasic:
+    def test_mpki(self):
+        assert mpki(5, 1000) == 5.0
+        assert mpki(0, 100) == 0.0
+
+    def test_mpki_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            mpki(1, 0)
+        with pytest.raises(ValueError):
+            mpki(-1, 100)
+
+    def test_hit_rate(self):
+        assert hit_rate(3, 4) == 0.75
+        assert hit_rate(0, 0) == 0.0
+
+    def test_hit_rate_rejects_hits_above_accesses(self):
+        with pytest.raises(ValueError):
+            hit_rate(5, 4)
+
+    def test_miss_reduction(self):
+        assert miss_reduction(100, 75) == 0.25
+        assert miss_reduction(100, 100) == 0.0
+        assert miss_reduction(0, 0) == 0.0
+
+    def test_miss_reduction_negative_when_worse(self):
+        assert miss_reduction(100, 150) == -0.5
+
+
+class TestWeightedSpeedup:
+    def test_alone_ipcs_give_core_count(self):
+        assert weighted_speedup([1.0, 2.0], [1.0, 2.0]) == 2.0
+
+    def test_halved_ipcs(self):
+        assert weighted_speedup([0.5, 1.0], [1.0, 2.0]) == 1.0
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([1.0], [1.0, 2.0])
+
+    def test_rejects_zero_alone(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([1.0], [0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([], [])
+
+
+class TestOtherMulticoreMetrics:
+    def test_harmonic_mean(self):
+        assert harmonic_mean_speedup([1.0, 1.0], [1.0, 1.0]) == 1.0
+        assert harmonic_mean_speedup([0.5, 2.0], [1.0, 2.0]) == pytest.approx(2 / 3)
+
+    def test_harmonic_mean_zero_progress(self):
+        assert harmonic_mean_speedup([0.0, 1.0], [1.0, 1.0]) == 0.0
+
+    def test_antt(self):
+        assert average_normalized_turnaround([0.5, 0.5], [1.0, 1.0]) == 2.0
+
+    def test_antt_rejects_zero(self):
+        with pytest.raises(ValueError):
+            average_normalized_turnaround([0.0], [1.0])
+
+    def test_fairness_perfect(self):
+        assert fairness([0.5, 1.0], [1.0, 2.0]) == 1.0
+
+    def test_fairness_skewed(self):
+        assert fairness([1.0, 0.25], [1.0, 1.0]) == 0.25
+
+    def test_fairness_zero(self):
+        assert fairness([0.0, 0.0], [1.0, 1.0]) == 0.0
+
+    def test_improvement(self):
+        assert improvement(1.1, 1.0) == pytest.approx(0.1)
+        with pytest.raises(ValueError):
+            improvement(1.0, 0.0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([3.0]) == 3.0
+
+    def test_geometric_mean_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])

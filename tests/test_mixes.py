@@ -1,0 +1,55 @@
+"""Tests for the multiprogrammed mix tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.workloads.mixes import all_mixes, mix_members, mix_names
+from repro.workloads.spec_like import benchmark
+
+
+class TestMixTables:
+    def test_core_counts_available(self):
+        mixes = all_mixes()
+        assert set(mixes) == {2, 4, 8}
+
+    def test_member_counts_match_cores(self):
+        for cores, names in all_mixes().items():
+            for name in names:
+                assert len(mix_members(name)) == cores
+
+    def test_members_exist_in_catalog(self):
+        for names in all_mixes().values():
+            for name in names:
+                for member in mix_members(name):
+                    benchmark(member)  # must not raise
+
+    def test_names_sorted_numerically(self):
+        names = mix_names(2)
+        suffixes = [int(name.rsplit("_", 1)[1]) for name in names]
+        assert suffixes == sorted(suffixes)
+
+    def test_minimum_population(self):
+        assert len(mix_names(2)) >= 8
+        assert len(mix_names(4)) >= 6
+        assert len(mix_names(8)) >= 4
+
+    def test_unknown_core_count(self):
+        with pytest.raises(WorkloadError):
+            mix_names(3)
+
+    def test_unknown_mix(self):
+        with pytest.raises(WorkloadError):
+            mix_members("mix16_1")
+
+    def test_mix_diversity(self):
+        """Each multi-core table mixes at least three behaviour classes."""
+        from repro.workloads.spec_like import benchmark_class
+
+        for cores in (4, 8):
+            classes = set()
+            for name in mix_names(cores):
+                for member in mix_members(name):
+                    classes.add(benchmark_class(member))
+            assert len(classes) >= 3

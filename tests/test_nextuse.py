@@ -1,0 +1,160 @@
+"""Tests for the Next-Use profiler and epoch profiles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nucache.nextuse import EpochProfile, NextUseEvent, NextUseProfiler
+
+
+def _profiler(capacity=16, sample_period=1, slots=4):
+    profiler = NextUseProfiler(capacity, sample_period)
+    profiler.begin_epoch(slots)
+    return profiler
+
+
+class TestNextUseProfiler:
+    def test_reuse_records_event(self):
+        profiler = _profiler()
+        profiler.on_eviction(0, block_addr=100, pc_slot=1)
+        event = profiler.on_reuse(0, block_addr=100)
+        assert event is not None
+        assert event.pc_slot == 1
+        assert event.deltas == (0, 0, 0, 0)
+
+    def test_distance_counts_candidate_evictions(self):
+        profiler = _profiler()
+        profiler.on_eviction(0, 100, pc_slot=0)
+        profiler.on_eviction(0, 101, pc_slot=1)
+        profiler.on_eviction(0, 102, pc_slot=1)
+        profiler.on_eviction(0, 103, pc_slot=2)
+        event = profiler.on_reuse(0, 100)
+        assert event.deltas == (0, 2, 1, 0)
+
+    def test_own_eviction_not_counted(self):
+        profiler = _profiler()
+        profiler.on_eviction(0, 100, pc_slot=2)
+        event = profiler.on_reuse(0, 100)
+        assert event.deltas[2] == 0
+
+    def test_unknown_block_returns_none(self):
+        profiler = _profiler()
+        assert profiler.on_reuse(0, 999) is None
+
+    def test_reuse_consumes_entry(self):
+        profiler = _profiler()
+        profiler.on_eviction(0, 100, pc_slot=0)
+        assert profiler.on_reuse(0, 100) is not None
+        assert profiler.on_reuse(0, 100) is None
+
+    def test_non_candidate_evictions_invisible(self):
+        profiler = _profiler()
+        profiler.on_eviction(0, 100, pc_slot=-1)
+        assert profiler.on_reuse(0, 100) is None
+        assert profiler.pending_evictions == 0
+
+    def test_history_capacity_evicts_oldest(self):
+        profiler = _profiler(capacity=2)
+        profiler.on_eviction(0, 100, pc_slot=0)
+        profiler.on_eviction(0, 101, pc_slot=0)
+        profiler.on_eviction(0, 102, pc_slot=0)
+        assert profiler.on_reuse(0, 100) is None  # fell off the FIFO
+        assert profiler.on_reuse(0, 102) is not None
+
+    def test_re_eviction_refreshes_entry(self):
+        profiler = _profiler(capacity=2)
+        profiler.on_eviction(0, 100, pc_slot=0)
+        profiler.on_eviction(0, 101, pc_slot=0)
+        profiler.on_eviction(0, 100, pc_slot=1)  # refreshed, newest
+        profiler.on_eviction(0, 102, pc_slot=0)  # pushes out 101
+        assert profiler.on_reuse(0, 101) is None
+        event = profiler.on_reuse(0, 100)
+        assert event is not None
+        assert event.pc_slot == 1
+
+    def test_sampling_ignores_unsampled_sets(self):
+        profiler = _profiler(sample_period=4)
+        profiler.on_eviction(1, 100, pc_slot=0)  # set 1: unsampled
+        assert profiler.on_reuse(1, 100) is None
+        profiler.on_eviction(4, 200, pc_slot=0)  # set 4: sampled
+        assert profiler.on_reuse(4, 200) is not None
+
+    def test_begin_epoch_resets(self):
+        profiler = _profiler()
+        profiler.on_eviction(0, 100, pc_slot=0)
+        profiler.begin_epoch(4)
+        assert profiler.on_reuse(0, 100) is None
+        assert profiler.finish_epoch().num_events == 0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            NextUseProfiler(0)
+        with pytest.raises(ValueError):
+            NextUseProfiler(4, sample_period=0)
+
+
+class TestEpochProfile:
+    def _profile(self, events, slots=3, evictions=None, sample_period=1):
+        return EpochProfile(
+            slots,
+            [NextUseEvent(pc, tuple(deltas)) for pc, deltas in events],
+            evictions or [0] * slots,
+            sample_period,
+        )
+
+    def test_captured_hits_within_capacity(self):
+        profile = self._profile([(0, (5, 0, 0)), (0, (20, 0, 0))])
+        mask = np.array([True, False, False])
+        assert profile.captured_hits(mask, deli_capacity=10) == 1
+        assert profile.captured_hits(mask, deli_capacity=30) == 2
+
+    def test_only_selected_pcs_counted(self):
+        profile = self._profile([(0, (0, 0, 0)), (1, (0, 0, 0))])
+        mask = np.array([True, False, False])
+        assert profile.captured_hits(mask, deli_capacity=10) == 1
+
+    def test_distance_restricted_to_selected(self):
+        # Distance vs slot 0 alone is 5; including slot 1 it is 50.
+        profile = self._profile([(0, (5, 45, 0))])
+        only_zero = np.array([True, False, False])
+        both = np.array([True, True, False])
+        assert profile.captured_hits(only_zero, 10) == 1
+        assert profile.captured_hits(both, 10) == 0
+
+    def test_empty_profile(self):
+        profile = self._profile([])
+        assert profile.num_events == 0
+        assert profile.captured_hits(np.array([True, True, True]), 100) == 0
+
+    def test_sampled_capacity_scaling(self):
+        profile = self._profile([(0, (5, 0, 0))], sample_period=4)
+        mask = np.array([True, False, False])
+        # Effective capacity 16//4 = 4 < 5: not captured.
+        assert profile.captured_hits(mask, deli_capacity=16) == 0
+        assert profile.captured_hits(mask, deli_capacity=24) == 1
+
+    def test_subsampling_scales_counts(self):
+        events = [(0, (0, 0, 0))] * 100
+        profile = EpochProfile(
+            3,
+            [NextUseEvent(pc, deltas) for pc, deltas in events],
+            [0, 0, 0],
+            1,
+            max_selection_events=10,
+        )
+        mask = np.array([True, False, False])
+        estimate = profile.captured_hits(mask, 10)
+        assert 80 <= estimate <= 120  # 100 +- stride granularity
+
+    def test_rejects_bad_max_events(self):
+        with pytest.raises(ValueError):
+            EpochProfile(1, [], [0], 1, max_selection_events=0)
+
+    def test_distance_histogram(self):
+        profile = self._profile(
+            [(0, (1, 0, 0)), (0, (10, 0, 0)), (1, (100, 0, 0))]
+        )
+        histograms = profile.distance_histogram([5, 50])
+        assert histograms[0].tolist() == [1, 1, 0]
+        assert histograms[1].tolist() == [0, 0, 1]

@@ -1,0 +1,248 @@
+"""Tests for UMON, lookahead partitioning, UCP and PIPP."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import CacheGeometry
+from repro.partition.lookahead import lookahead_partition
+from repro.partition.pipp import PIPPCache
+from repro.partition.ucp import UCPCache
+from repro.partition.umon import UtilityMonitor
+
+
+def _geometry(sets=8, ways=4):
+    return CacheGeometry(size_bytes=sets * ways * 64, block_bytes=64, ways=ways)
+
+
+class TestUtilityMonitor:
+    def test_position_hits_match_stack_distance(self):
+        monitor = UtilityMonitor(_geometry(sets=1, ways=4), sample_period=1)
+        # blocks all map to set 0 (1 set)
+        monitor.observe(0)
+        monitor.observe(0)  # hit at MRU (position 0)
+        monitor.observe(1)
+        monitor.observe(0)  # hit at position 1
+        assert monitor.position_hits[0] == 1
+        assert monitor.position_hits[1] == 1
+        assert monitor.misses == 2
+
+    def test_utility_curve_cumulative(self):
+        monitor = UtilityMonitor(_geometry(sets=1, ways=4), sample_period=1)
+        monitor.position_hits = [5, 3, 2, 0]
+        assert monitor.utility_curve() == [0, 5, 8, 10, 10]
+
+    def test_sampling_skips_sets(self):
+        monitor = UtilityMonitor(_geometry(sets=8, ways=2), sample_period=8)
+        monitor.observe(1)  # set 1: not sampled
+        monitor.observe(1)
+        assert monitor.accesses == 0
+        monitor.observe(8)  # set 0: sampled
+        assert monitor.misses == 1
+
+    def test_atd_capacity_bounded(self):
+        monitor = UtilityMonitor(_geometry(sets=1, ways=2), sample_period=1)
+        for block in range(10):
+            monitor.observe(block)
+        monitor.observe(9)
+        assert monitor.position_hits[0] == 1  # 9 still resident
+        monitor.observe(0)
+        assert monitor.misses == 11  # 0 evicted long ago
+
+    def test_decay_halves(self):
+        monitor = UtilityMonitor(_geometry(), sample_period=1)
+        monitor.position_hits = [8, 4, 2, 1]
+        monitor.misses = 10
+        monitor.decay()
+        assert monitor.position_hits == [4, 2, 1, 0]
+        assert monitor.misses == 5
+
+    def test_decay_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            UtilityMonitor(_geometry()).decay(0)
+
+    def test_rejects_bad_sample_period(self):
+        with pytest.raises(ValueError):
+            UtilityMonitor(_geometry(), sample_period=0)
+
+
+class TestLookaheadPartition:
+    def test_concentrates_on_utility(self):
+        # core 0 gains a lot from every way; core 1 gains nothing.
+        curves = [[0, 10, 20, 30, 40], [0, 0, 0, 0, 0]]
+        allocation = lookahead_partition(curves, total_ways=4, min_ways=1)
+        assert allocation == [3, 1]
+
+    def test_balanced_for_equal_curves(self):
+        curves = [[0, 10, 20, 30, 40]] * 2
+        allocation = lookahead_partition(curves, total_ways=4)
+        assert sum(allocation) == 4
+        assert sorted(allocation) == [2, 2]
+
+    def test_looks_past_plateau(self):
+        # core 0: nothing until 3 ways, then a huge jump; core 1: small
+        # steady gains.  Lookahead must see core 0's jump.
+        curves = [[0, 0, 0, 100, 100], [0, 5, 10, 15, 20]]
+        allocation = lookahead_partition(curves, total_ways=4, min_ways=0)
+        assert allocation[0] == 3
+
+    def test_respects_min_ways(self):
+        curves = [[0, 100, 200, 300, 400], [0, 0, 0, 0, 0]]
+        allocation = lookahead_partition(curves, total_ways=4, min_ways=1)
+        assert allocation[1] >= 1
+
+    def test_sum_equals_total(self):
+        curves = [[0, 1, 2, 3, 4, 5, 6, 7, 8]] * 4
+        assert sum(lookahead_partition(curves, total_ways=8)) == 8
+
+    def test_short_curves_capped(self):
+        # A core whose curve stops at 2 ways can never receive more.
+        curves = [[0, 50, 60], [0, 1, 2, 3, 4, 5, 6, 7, 8]]
+        allocation = lookahead_partition(curves, total_ways=8)
+        assert allocation[0] <= 2
+        assert sum(allocation) == 8
+
+    def test_rejects_impossible_minimum(self):
+        with pytest.raises(ValueError):
+            lookahead_partition([[0, 1], [0, 1], [0, 1]], total_ways=2, min_ways=1)
+
+    def test_rejects_no_cores(self):
+        with pytest.raises(ValueError):
+            lookahead_partition([], total_ways=4)
+
+
+class TestUCPCache:
+    def test_basic_hit_miss(self):
+        cache = UCPCache(_geometry(), num_cores=2, repartition_period=10**9)
+        assert not cache.access(0, 0, 0, False)
+        assert cache.access(0, 0, 0, False)
+
+    def test_enforcement_protects_quota(self):
+        # 1 set, 4 ways; core 0 allocated 3 ways, core 1 allocated 1.
+        cache = UCPCache(_geometry(sets=1, ways=4), num_cores=2,
+                         repartition_period=10**9)
+        cache.allocation = [3, 1]
+        for block in (0, 1, 2):
+            cache.access(block, core=0, pc=0, is_write=False)
+        # Core 1 floods; it may only ever hold 1 way.
+        for block in (10, 11, 12, 13, 14):
+            cache.access(block, core=1, pc=0, is_write=False)
+        occupancy = cache.occupancy_by_core()
+        assert occupancy.get(0, 0) == 3
+        assert occupancy.get(1, 0) == 1
+        # Core 0's lines survived the flood.
+        for block in (0, 1, 2):
+            assert cache.access(block, core=0, pc=0, is_write=False)
+
+    def test_over_quota_core_reclaimed(self):
+        cache = UCPCache(_geometry(sets=1, ways=4), num_cores=2,
+                         repartition_period=10**9)
+        cache.allocation = [2, 2]
+        for block in (0, 1, 2, 3):
+            cache.access(block, core=0, pc=0, is_write=False)  # core 0 holds 4
+        cache.allocation = [1, 3]
+        cache.access(10, core=1, pc=0, is_write=False)
+        occupancy = cache.occupancy_by_core()
+        assert occupancy[0] == 3  # reclaimed one over-quota way
+        assert occupancy[1] == 1
+
+    def test_repartition_runs_on_schedule(self):
+        cache = UCPCache(_geometry(), num_cores=2, repartition_period=10)
+        for block in range(25):
+            cache.access(block, core=block % 2, pc=0, is_write=False)
+        assert cache.repartitions == 2
+
+    def test_repartition_allocates_to_utility(self):
+        cache = UCPCache(_geometry(sets=2, ways=4), num_cores=2,
+                         repartition_period=10**9, umon_sample_period=1)
+        # Core 0 re-uses two blocks (high utility); core 1 streams.
+        for _ in range(50):
+            cache.access(0, core=0, pc=0, is_write=False)
+            cache.access(2, core=0, pc=0, is_write=False)
+        for block in range(100, 200):
+            cache.access(block, core=1, pc=0, is_write=False)
+        allocation = cache.repartition()
+        assert allocation[0] >= allocation[1]
+
+    def test_rejects_more_cores_than_ways(self):
+        with pytest.raises(ValueError):
+            UCPCache(_geometry(ways=4), num_cores=5)
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            UCPCache(_geometry(), num_cores=0)
+
+
+class TestPIPPCache:
+    def test_basic_hit_miss(self):
+        cache = PIPPCache(_geometry(), num_cores=2, repartition_period=10**9)
+        assert not cache.access(0, 0, 0, False)
+        assert cache.access(0, 0, 0, False)
+
+    def test_insertion_depth_follows_allocation(self):
+        cache = PIPPCache(_geometry(sets=1, ways=4), num_cores=2,
+                          repartition_period=10**9, stream_detection=False)
+        cache.allocation = [3, 1]
+        # Fill with core 1 lines, then insert one core 0 line: core 0's
+        # line lands at depth ways - 3 = 1, i.e. near the top.
+        for block in (10, 11, 12, 13):
+            cache.access(block, core=1, pc=0, is_write=False)
+        cache.access(0, core=0, pc=0, is_write=False)
+        pipp_set = cache.sets[0]
+        way_of_0 = pipp_set.tag_to_way[0]
+        assert pipp_set.stack.index(way_of_0) == 1
+
+    def test_low_allocation_inserts_near_lru(self):
+        cache = PIPPCache(_geometry(sets=1, ways=4), num_cores=2,
+                          repartition_period=10**9, stream_detection=False)
+        cache.allocation = [3, 1]
+        for block in (0, 1, 2, 3):
+            cache.access(block, core=0, pc=0, is_write=False)
+        cache.access(10, core=1, pc=0, is_write=False)
+        pipp_set = cache.sets[0]
+        way = pipp_set.tag_to_way[10 >> 0]
+        assert pipp_set.stack.index(way) == 3  # bottom
+
+    def test_promotion_is_single_step(self):
+        cache = PIPPCache(_geometry(sets=1, ways=4), num_cores=1,
+                          repartition_period=10**9, seed=1,
+                          stream_detection=False)
+        cache.allocation = [1]
+        for block in (0, 1, 2, 3):
+            cache.access(block, core=0, pc=0, is_write=False)
+        pipp_set = cache.sets[0]
+        way = pipp_set.tag_to_way[0]
+        start = pipp_set.stack.index(way)
+        cache.access(0, core=0, pc=0, is_write=False)
+        end = pipp_set.stack.index(way)
+        assert start - end in (0, 1)  # moved at most one position
+
+    def test_stream_detection_flags_streamer(self):
+        cache = PIPPCache(_geometry(sets=4, ways=4), num_cores=2,
+                          repartition_period=10**9, umon_sample_period=1)
+        for _ in range(30):
+            cache.access(0, core=0, pc=0, is_write=False)  # reuses
+        for block in range(200):
+            cache.access(block + 100, core=1, pc=0, is_write=False)  # streams
+        cache.repartition()
+        assert not cache.streaming[0]
+        assert cache.streaming[1]
+
+    def test_victim_is_stack_bottom(self):
+        cache = PIPPCache(_geometry(sets=1, ways=2), num_cores=1,
+                          repartition_period=10**9, stream_detection=False)
+        cache.allocation = [2]
+        cache.access(0, core=0, pc=0, is_write=False)
+        cache.access(1, core=0, pc=0, is_write=False)
+        cache.access(2, core=0, pc=0, is_write=False)
+        assert not cache.access(0, core=0, pc=0, is_write=False)
+
+    def test_occupancy_by_core(self):
+        cache = PIPPCache(_geometry(), num_cores=2, repartition_period=10**9)
+        cache.access(0, core=0, pc=0, is_write=False)
+        cache.access(1, core=1, pc=0, is_write=False)
+        assert cache.occupancy_by_core() == {0: 1, 1: 1}
+
+    def test_rejects_more_cores_than_ways(self):
+        with pytest.raises(ValueError):
+            PIPPCache(_geometry(ways=2), num_cores=3)

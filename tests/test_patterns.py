@@ -1,0 +1,122 @@
+"""Tests for the access-pattern primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.common.rng import make_rng
+from repro.workloads.patterns import HotSpot, PointerChase, StridedLoop, UniformRandom
+
+
+@pytest.fixture
+def rng():
+    return make_rng(1, "patterns-test")
+
+
+class TestStridedLoop:
+    def test_walks_with_stride(self, rng):
+        loop = StridedLoop(base=0, region_bytes=256, stride=64)
+        assert loop.generate(4, rng).tolist() == [0, 64, 128, 192]
+
+    def test_wraps_at_region(self, rng):
+        loop = StridedLoop(base=0, region_bytes=256, stride=64)
+        loop.generate(4, rng)
+        assert loop.generate(2, rng).tolist() == [0, 64]
+
+    def test_base_offset(self, rng):
+        loop = StridedLoop(base=1024, region_bytes=128, stride=64)
+        assert loop.generate(2, rng).tolist() == [1024, 1088]
+
+    def test_cursor_persists_across_calls(self, rng):
+        loop = StridedLoop(base=0, region_bytes=4096, stride=64)
+        first = loop.generate(3, rng)
+        second = loop.generate(3, rng)
+        assert second[0] == first[-1] + 64
+
+    def test_zero_count(self, rng):
+        loop = StridedLoop(base=0, region_bytes=256, stride=64)
+        assert len(loop.generate(0, rng)) == 0
+
+    def test_rejects_bad_stride(self):
+        with pytest.raises(WorkloadError):
+            StridedLoop(0, 256, stride=0)
+        with pytest.raises(WorkloadError):
+            StridedLoop(0, 250, stride=64)
+
+    def test_rejects_negative_count(self, rng):
+        with pytest.raises(WorkloadError):
+            StridedLoop(0, 256, 64).generate(-1, rng)
+
+
+class TestUniformRandom:
+    def test_stays_in_region(self, rng):
+        pattern = UniformRandom(base=4096, region_bytes=1024)
+        addresses = pattern.generate(500, rng)
+        assert (addresses >= 4096).all()
+        assert (addresses < 4096 + 1024).all()
+
+    def test_block_aligned(self, rng):
+        pattern = UniformRandom(base=0, region_bytes=1024)
+        assert (pattern.generate(100, rng) % 64 == 0).all()
+
+    def test_covers_region(self, rng):
+        pattern = UniformRandom(base=0, region_bytes=4 * 64)
+        addresses = set(pattern.generate(200, rng).tolist())
+        assert addresses == {0, 64, 128, 192}
+
+    def test_rejects_sub_block_region(self):
+        with pytest.raises(WorkloadError):
+            UniformRandom(0, 32)
+
+
+class TestPointerChase:
+    def test_visits_every_block_once_per_lap(self, rng):
+        pattern = PointerChase(base=0, region_bytes=8 * 64, rng=rng)
+        lap = pattern.generate(8, rng)
+        assert sorted(lap.tolist()) == [i * 64 for i in range(8)]
+
+    def test_order_repeats_across_laps(self, rng):
+        pattern = PointerChase(base=0, region_bytes=8 * 64, rng=rng)
+        first = pattern.generate(8, rng).tolist()
+        second = pattern.generate(8, rng).tolist()
+        assert first == second
+
+    def test_order_is_shuffled(self):
+        rng = make_rng(1, "chase")
+        pattern = PointerChase(base=0, region_bytes=64 * 64, rng=rng)
+        lap = pattern.generate(64, rng).tolist()
+        assert lap != sorted(lap)
+
+    def test_rejects_empty_region(self, rng):
+        with pytest.raises(WorkloadError):
+            PointerChase(0, 32, rng)
+
+
+class TestHotSpot:
+    def test_stays_in_region(self, rng):
+        pattern = HotSpot(base=128, region_bytes=4 * 64)
+        addresses = pattern.generate(300, rng)
+        assert (addresses >= 128).all()
+        assert (addresses < 128 + 256).all()
+
+    def test_skewed_toward_first_blocks(self, rng):
+        pattern = HotSpot(base=0, region_bytes=64 * 64, skew=1.2)
+        addresses = pattern.generate(3000, rng)
+        first_block_share = np.mean(addresses == 0)
+        assert first_block_share > 1.0 / 64 * 3  # well above uniform
+
+    def test_rejects_bad_skew(self):
+        with pytest.raises(WorkloadError):
+            HotSpot(0, 256, skew=0)
+
+
+class TestCommonValidation:
+    def test_rejects_negative_base(self):
+        with pytest.raises(WorkloadError):
+            StridedLoop(-64, 256, 64)
+
+    def test_rejects_zero_region(self):
+        with pytest.raises(WorkloadError):
+            UniformRandom(0, 0)

@@ -1,0 +1,107 @@
+"""Tests for the terminal plotting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.plots import (
+    bar_chart,
+    guess_bar_column,
+    render_with_bars,
+    result_bars,
+    sparkline,
+)
+
+
+class TestBarChart:
+    def test_renders_all_rows(self):
+        text = bar_chart(["a", "bb"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("a ")
+        assert "2" in lines[1]
+
+    def test_longest_bar_fills_width(self):
+        text = bar_chart(["x"], [5.0], width=8)
+        assert "#" * 8 in text
+
+    def test_zero_values(self):
+        text = bar_chart(["x", "y"], [0.0, 0.0], width=8)
+        assert "#" not in text
+
+    def test_reference_marker(self):
+        text = bar_chart(["x"], [2.0], width=10, reference=1.0)
+        assert "|" in text
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0], width=0)
+
+    def test_empty(self):
+        assert bar_chart([], []) == "(no data)"
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        line = sparkline([1, 2, 3, 4])
+        assert len(line) == 4
+        assert line[0] < line[-1]  # glyph levels are ordered by ASCII here
+
+    def test_flat_series(self):
+        line = sparkline([5, 5, 5])
+        assert len(set(line)) == 1
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestResultBars:
+    def _result(self):
+        return ExperimentResult(
+            "figX", "title",
+            [
+                {"mix": "m1", "speedup": 1.2, "note": "x"},
+                {"mix": "m2", "speedup": 0.9},
+                {"mix": "gmean", "speedup": 1.05},
+            ],
+        )
+
+    def test_charts_numeric_column(self):
+        text = result_bars(self._result(), "speedup")
+        assert "m1" in text and "gmean" in text
+        assert "figX: speedup" in text
+
+    def test_skips_non_numeric_cells(self):
+        result = ExperimentResult(
+            "figX", "t", [{"mix": "a", "v": 1.0}, {"mix": "b", "v": "n/a"}]
+        )
+        text = result_bars(result, "v")
+        assert "a" in text
+        assert "\nb " not in text
+
+    def test_no_numeric_values(self):
+        result = ExperimentResult("figX", "t", [{"mix": "a", "v": "x"}])
+        assert "no numeric values" in result_bars(result, "v")
+
+    def test_guess_prefers_vs_columns(self):
+        result = ExperimentResult(
+            "figX", "t", [{"mix": "a", "ws_lru": 2.0, "nucache_vs_lru": 0.1}]
+        )
+        assert guess_bar_column(result) == "nucache_vs_lru"
+
+    def test_guess_falls_back_to_speedup(self):
+        assert guess_bar_column(self._result()) == "speedup"
+
+    def test_render_with_bars_appends_chart(self):
+        text = render_with_bars(self._result())
+        assert "figX: title" in text
+        assert "figX: speedup" in text
+
+    def test_render_without_chartable_column(self):
+        result = ExperimentResult("figX", "t", [{"mix": "a", "v": "text"}])
+        assert render_with_bars(result) == result.to_text()

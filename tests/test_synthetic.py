@@ -1,0 +1,138 @@
+"""Tests for the synthetic benchmark generator and the catalog."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.workloads.spec_like import (
+    benchmark,
+    benchmark_class,
+    benchmark_names,
+    benchmarks_in_class,
+    catalog,
+)
+from repro.workloads.synthetic import BenchmarkSpec, StreamSpec, generate_trace
+
+
+def _spec(streams=None, name="bench"):
+    if streams is None:
+        streams = (
+            StreamSpec("loop", region_bytes=4096, weight=0.5, num_pcs=2),
+            StreamSpec("hot", region_bytes=1024, weight=0.5),
+        )
+    return BenchmarkSpec(name, tuple(streams))
+
+
+class TestStreamSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(WorkloadError):
+            StreamSpec("zigzag", 1024, 0.5)
+
+    def test_rejects_zero_weight(self):
+        with pytest.raises(WorkloadError):
+            StreamSpec("loop", 1024, 0.0)
+
+    def test_rejects_zero_pcs(self):
+        with pytest.raises(WorkloadError):
+            StreamSpec("loop", 1024, 0.5, num_pcs=0)
+
+    def test_rejects_bad_write_fraction(self):
+        with pytest.raises(WorkloadError):
+            StreamSpec("loop", 1024, 0.5, write_fraction=1.5)
+
+
+class TestBenchmarkSpec:
+    def test_rejects_empty_streams(self):
+        with pytest.raises(WorkloadError):
+            BenchmarkSpec("b", ())
+
+    def test_weights_normalized(self):
+        spec = _spec((
+            StreamSpec("loop", 1024, 2.0),
+            StreamSpec("hot", 1024, 2.0),
+        ))
+        assert np.allclose(spec.weights, [0.5, 0.5])
+
+
+class TestGenerateTrace:
+    def test_deterministic(self):
+        spec = _spec()
+        a = generate_trace(spec, 1000, seed=5)
+        b = generate_trace(spec, 1000, seed=5)
+        assert (a.addresses == b.addresses).all()
+        assert (a.pcs == b.pcs).all()
+        assert (a.is_write == b.is_write).all()
+
+    def test_seed_changes_trace(self):
+        spec = _spec()
+        a = generate_trace(spec, 1000, seed=5)
+        b = generate_trace(spec, 1000, seed=6)
+        assert not (a.addresses == b.addresses).all()
+
+    def test_weights_approximately_respected(self):
+        spec = _spec((
+            StreamSpec("loop", 4096, 0.8),
+            StreamSpec("hot", 1024, 0.2),
+        ))
+        trace = generate_trace(spec, 20_000, seed=1)
+        loop_share = np.mean(trace.pcs < 2 * (1 << 20))
+        assert 0.75 < loop_share < 0.85
+
+    def test_streams_have_disjoint_regions_and_pcs(self):
+        spec = _spec()
+        trace = generate_trace(spec, 5000, seed=2)
+        stream_of_pc = trace.pcs // (1 << 20)
+        stream_of_addr = trace.addresses >> 34
+        assert (stream_of_pc == stream_of_addr).all()
+
+    def test_num_pcs_distinct(self):
+        spec = _spec((StreamSpec("loop", 4096, 1.0, num_pcs=3),))
+        trace = generate_trace(spec, 3000, seed=3)
+        assert trace.unique_pcs() == 3
+
+    def test_write_fraction(self):
+        spec = _spec((StreamSpec("loop", 4096, 1.0, write_fraction=0.5),))
+        trace = generate_trace(spec, 10_000, seed=4)
+        assert 0.45 < trace.is_write.mean() < 0.55
+
+    def test_rejects_zero_accesses(self):
+        with pytest.raises(WorkloadError):
+            generate_trace(_spec(), 0)
+
+    def test_instruction_gap_propagates(self):
+        spec = BenchmarkSpec("b", (StreamSpec("hot", 1024, 1.0),), instruction_gap=7)
+        assert generate_trace(spec, 10, seed=1).instruction_gap == 7
+
+
+class TestCatalog:
+    def test_all_benchmarks_generate(self):
+        for name in benchmark_names():
+            trace = generate_trace(benchmark(name), 2000, seed=1)
+            assert len(trace) == 2000
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(WorkloadError):
+            benchmark("spec2027_like")
+
+    def test_classes_cover_catalog(self):
+        for name in benchmark_names():
+            assert benchmark_class(name) in {
+                "delinquent", "streaming", "irregular", "friendly", "partition",
+            }
+
+    def test_class_lookup(self):
+        assert "art_like" in benchmarks_in_class("delinquent")
+        with pytest.raises(WorkloadError):
+            benchmarks_in_class("mysterious")
+
+    def test_catalog_rows(self):
+        rows = catalog()
+        assert len(rows) == len(benchmark_names())
+        assert all(len(row) == 3 for row in rows)
+
+    def test_expected_population(self):
+        names = benchmark_names()
+        assert len(names) >= 14
+        assert "art_like" in names and "swim_like" in names

@@ -1,0 +1,128 @@
+"""Tests for trace text I/O and trace transformations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import TraceError
+from repro.workloads.textio import (
+    concatenate,
+    downsample,
+    interleave,
+    load_text,
+    save_text,
+    window,
+)
+
+from conftest import make_trace
+
+
+class TestTextRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        trace = make_trace([0, 1, 2], pcs=[0x10, 0x20, 0x10],
+                           writes=[True, False, False], gap=5)
+        path = tmp_path / "trace.txt"
+        save_text(trace, path)
+        loaded = load_text(path)
+        assert loaded.name == trace.name
+        assert loaded.instruction_gap == 5
+        assert loaded.addresses.tolist() == trace.addresses.tolist()
+        assert loaded.pcs.tolist() == trace.pcs.tolist()
+        assert loaded.is_write.tolist() == trace.is_write.tolist()
+
+    def test_name_override(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        save_text(make_trace([0]), path)
+        assert load_text(path, name="renamed").name == "renamed"
+
+    def test_accepts_decimal_and_hex(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("R 64 16\nW 0x80 0x20\n")
+        trace = load_text(path)
+        assert trace.addresses.tolist() == [64, 128]
+        assert trace.is_write.tolist() == [False, True]
+
+    def test_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("# a comment\n\nR 0x40 0x1\n")
+        assert len(load_text(path)) == 1
+
+    def test_rejects_missing_file(self, tmp_path):
+        with pytest.raises(TraceError):
+            load_text(tmp_path / "nope.txt")
+
+    def test_rejects_bad_op(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("X 0x40 0x1\n")
+        with pytest.raises(TraceError):
+            load_text(path)
+
+    def test_rejects_bad_fields(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("R 0x40\n")
+        with pytest.raises(TraceError):
+            load_text(path)
+
+    def test_rejects_empty(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("# nothing\n")
+        with pytest.raises(TraceError):
+            load_text(path)
+
+
+class TestWindow:
+    def test_slices(self):
+        trace = make_trace(list(range(10)))
+        sliced = window(trace, 2, 3)
+        assert sliced.addresses.tolist() == [128, 192, 256]
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(TraceError):
+            window(make_trace([0, 1]), 1, 5)
+
+
+class TestDownsample:
+    def test_keeps_every_kth(self):
+        trace = make_trace(list(range(10)), gap=1)
+        sampled = downsample(trace, 2)
+        assert len(sampled) == 5
+        assert sampled.addresses.tolist() == trace.addresses[::2].tolist()
+
+    def test_scales_instruction_gap(self):
+        trace = make_trace(list(range(10)), gap=1)
+        sampled = downsample(trace, 2)
+        # 2 accesses x (1+1) instructions -> 1 access x (3+1).
+        assert sampled.instruction_gap == 3
+
+    def test_period_one_identity(self):
+        trace = make_trace([0, 1])
+        assert downsample(trace, 1) is trace
+
+    def test_rejects_too_large_period(self):
+        with pytest.raises(TraceError):
+            downsample(make_trace([0, 1]), 5)
+
+
+class TestMerge:
+    def test_interleave_round_robin(self):
+        a = make_trace([0, 1, 2])
+        b = make_trace([10, 11, 12])
+        merged = interleave([a, b])
+        assert merged.addresses.tolist()[:4] == [0, 640, 64, 704]
+
+    def test_interleave_truncates_to_shortest(self):
+        a = make_trace([0, 1, 2, 3])
+        b = make_trace([10])
+        assert len(interleave([a, b])) == 2
+
+    def test_concatenate(self):
+        a = make_trace([0, 1])
+        b = make_trace([5])
+        joined = concatenate([a, b])
+        assert joined.addresses.tolist() == [0, 64, 320]
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(TraceError):
+            interleave([])
+        with pytest.raises(TraceError):
+            concatenate([])

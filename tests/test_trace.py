@@ -1,0 +1,110 @@
+"""Tests for the Trace container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import TraceError
+from repro.workloads.trace import Trace
+
+from conftest import make_trace
+
+
+class TestValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(TraceError):
+            Trace("t", np.array([], dtype=np.int64), np.array([], dtype=np.int64),
+                  np.array([], dtype=bool))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(TraceError):
+            Trace("t", np.array([1, 2]), np.array([0]), np.array([False, False]))
+
+    def test_rejects_negative_gap(self):
+        with pytest.raises(TraceError):
+            make_trace([1, 2], gap=-1)
+
+    def test_rejects_negative_addresses(self):
+        with pytest.raises(TraceError):
+            Trace("t", np.array([-64]), np.array([0]), np.array([False]))
+
+    def test_coerces_dtypes(self):
+        trace = Trace("t", np.array([64.0]), np.array([1.0]), np.array([1]))
+        assert trace.addresses.dtype == np.int64
+        assert trace.is_write.dtype == bool
+
+
+class TestDerived:
+    def test_len_and_instructions(self):
+        trace = make_trace([0, 1, 2], gap=3)
+        assert len(trace) == 3
+        assert trace.instructions == 12
+
+    def test_block_addresses(self):
+        trace = make_trace([0, 1, 5])
+        assert trace.block_addresses(64).tolist() == [0, 1, 5]
+
+    def test_footprint(self):
+        trace = make_trace([0, 1, 1, 0, 5])
+        assert trace.footprint_blocks(64) == 3
+
+    def test_unique_pcs(self):
+        trace = make_trace([0, 1, 2], pcs=[7, 7, 9])
+        assert trace.unique_pcs() == 2
+
+    def test_head(self):
+        trace = make_trace(list(range(10)))
+        head = trace.head(3)
+        assert len(head) == 3
+        assert head.addresses.tolist() == trace.addresses[:3].tolist()
+
+    def test_head_clamps(self):
+        assert len(make_trace([0, 1]).head(10)) == 2
+
+    def test_head_rejects_zero(self):
+        with pytest.raises(TraceError):
+            make_trace([0]).head(0)
+
+    def test_describe_mentions_name(self):
+        assert "t:" in make_trace([0]).describe()
+
+
+class TestRelocation:
+    def test_offsets_addresses_and_pcs(self):
+        trace = make_trace([0, 1], pcs=[5, 6])
+        moved = trace.relocated(tag=1, tag_shift=10)
+        assert moved.addresses.tolist() == [1024, 1024 + 64]
+        assert moved.pcs.tolist() == [5 + 1024, 6 + 1024]
+
+    def test_tag_zero_is_identity(self):
+        trace = make_trace([3, 4])
+        moved = trace.relocated(0)
+        assert moved.addresses.tolist() == trace.addresses.tolist()
+
+    def test_distinct_tags_disjoint(self):
+        trace = make_trace([0, 1, 2])
+        a = trace.relocated(1)
+        b = trace.relocated(2)
+        assert not set(a.addresses.tolist()) & set(b.addresses.tolist())
+
+    def test_rejects_negative_tag(self):
+        with pytest.raises(TraceError):
+            make_trace([0]).relocated(-1)
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        trace = make_trace([0, 1, 2], pcs=[4, 5, 6], writes=[True, False, True], gap=2)
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.name == trace.name
+        assert loaded.addresses.tolist() == trace.addresses.tolist()
+        assert loaded.pcs.tolist() == trace.pcs.tolist()
+        assert loaded.is_write.tolist() == trace.is_write.tolist()
+        assert loaded.instruction_gap == 2
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(TraceError):
+            Trace.load(tmp_path / "nope.npz")
