@@ -11,8 +11,39 @@ from __future__ import annotations
 
 import os
 
+import pytest
+
 #: Per-core trace length used by the benchmark harness.
 BENCH_ACCESSES = int(os.environ.get("REPRO_BENCH_ACCESSES", "60000"))
+
+#: Worker processes the benchmark runs schedule simulations across.
+#: Defaults to serial so timing numbers stay comparable; raise it to
+#: exercise (and time) the parallel scheduler path.
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _scheduler_isolation(tmp_path_factory):
+    """Run every benchmark through the scheduler against a fresh store.
+
+    ``REPRO_CACHE_DIR`` is pointed at a per-session tmpdir so timings
+    measure real simulation work (no cross-run cache pollution) while
+    within-session reuse — e.g. alone baselines shared between figures —
+    still flows through the store, as in production.
+    """
+    from repro.exec import STORE_ENV_VAR
+    from repro.exec import context as exec_context
+
+    previous = os.environ.get(STORE_ENV_VAR)
+    os.environ[STORE_ENV_VAR] = str(tmp_path_factory.mktemp("bench-store"))
+    exec_context.reset()
+    exec_context.configure(jobs=BENCH_JOBS)
+    yield
+    if previous is None:
+        os.environ.pop(STORE_ENV_VAR, None)
+    else:
+        os.environ[STORE_ENV_VAR] = previous
+    exec_context.reset()
 
 
 def run_once(benchmark, func, *args, **kwargs):

@@ -24,6 +24,7 @@ from repro.common import (
     paper_system_config,
     tiny_system_config,
 )
+from repro.exec import BatchReport, ResultStore, Scheduler, SimJob, run_jobs
 from repro.metrics import (
     average_normalized_turnaround,
     fairness,
@@ -57,6 +58,7 @@ from repro.workloads import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchReport",
     "BenchmarkSpec",
     "CacheGeometry",
     "LatencyConfig",
@@ -64,6 +66,9 @@ __all__ = [
     "NUCache",
     "NUcacheConfig",
     "ReproError",
+    "ResultStore",
+    "Scheduler",
+    "SimJob",
     "SimResult",
     "SystemConfig",
     "Trace",
@@ -83,6 +88,7 @@ __all__ = [
     "mix_names",
     "paper_system_config",
     "policy_names",
+    "run_jobs",
     "run_mix",
     "run_single",
     "run_workload",

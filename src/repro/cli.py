@@ -4,13 +4,20 @@ Subcommands::
 
     nucache-repro list                 # list experiments and workloads
     nucache-repro run fig5 [fig6 ...]  # run experiments, print tables
-    nucache-repro run all              # run every experiment
+    nucache-repro run all --jobs 4     # every experiment, 4 workers
+    nucache-repro run fig5 --no-cache  # bypass the result store
     nucache-repro sim --mix mix4_1 --policy nucache   # one simulation
+    nucache-repro cache stats                         # result-store report
+    nucache-repro cache prune --keep 1000             # trim the store
     nucache-repro characterize art_like               # reuse-distance report
     nucache-repro trace art_like -o art.trace         # export a trace
 
 Trace lengths can be scaled globally with the ``REPRO_SCALE``
 environment variable (e.g. ``REPRO_SCALE=0.5`` for half-length traces).
+Worker counts default from ``REPRO_JOBS``; the result store lives under
+``REPRO_CACHE_DIR`` (default ``~/.cache/nucache-repro``).  Execution
+summaries (computed/cached/failed job counts) go to stderr so tables on
+stdout stay byte-stable.
 """
 
 from __future__ import annotations
@@ -19,6 +26,9 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.common.rng import DEFAULT_SEED
+from repro.exec import ResultStore
+from repro.exec import context as exec_context
 from repro.experiments import experiment_ids, run_experiment
 from repro.metrics.multicore import weighted_speedup
 from repro.sim.policies import policy_names
@@ -43,10 +53,15 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    exec_context.configure(
+        jobs=args.jobs,
+        use_cache=False if args.no_cache else None,
+    )
     requested = args.experiments
     if requested == ["all"]:
         requested = experiment_ids()
     for experiment_id in requested:
+        exec_context.reset_totals()
         result = run_experiment(experiment_id)
         if args.bars:
             from repro.experiments.plots import render_with_bars
@@ -55,6 +70,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
         else:
             print(result.to_text())
         print()
+        report = exec_context.totals()
+        if report.total:
+            print(f"[exec] {experiment_id}: {report.describe()}", file=sys.stderr)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    store = ResultStore()
+    if args.action == "stats":
+        print(store.stats().describe())
+    elif args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} entries from {store.base}")
+    elif args.action == "prune":
+        if args.keep is None and args.max_age_days is None:
+            print("prune needs --keep and/or --max-age-days", file=sys.stderr)
+            return 2
+        removed = store.prune(max_age_days=args.max_age_days, keep=args.keep)
+        print(f"pruned {removed} entries; now {store.stats().describe()}")
     return 0
 
 
@@ -85,8 +119,11 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 def _cmd_sim(args: argparse.Namespace) -> int:
     if args.mix:
         members = mix_members(args.mix)
-        result = run_mix(args.mix, args.policy, args.accesses)
-        alone = [alone_ipc(name, len(members), args.accesses) for name in members]
+        result = run_mix(args.mix, args.policy, args.accesses, args.seed)
+        alone = [
+            alone_ipc(name, len(members), args.accesses, args.seed)
+            for name in members
+        ]
         print(f"mix {args.mix} under {args.policy}:")
         for core, name in zip(result.cores, members):
             print(
@@ -95,7 +132,7 @@ def _cmd_sim(args: argparse.Namespace) -> int:
             )
         print(f"  weighted speedup = {weighted_speedup(result.ipcs, alone):.4f}")
     else:
-        result = run_single(args.benchmark, args.policy, args.accesses)
+        result = run_single(args.benchmark, args.policy, args.accesses, args.seed)
         core = result.cores[0]
         print(
             f"{args.benchmark} under {args.policy}: ipc={core.ipc:.4f} "
@@ -104,6 +141,13 @@ def _cmd_sim(args: argparse.Namespace) -> int:
     if result.llc_extra:
         print(f"  llc extra: {result.llc_extra}")
     return 0
+
+
+def _positive_int(raw: str) -> int:
+    value = int(raw)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {raw}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -126,6 +170,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--bars", action="store_true",
         help="append an automatic bar chart per experiment",
     )
+    run_parser.add_argument(
+        "--jobs", type=_positive_int, default=None, metavar="N",
+        help="worker processes for simulation grids (default: REPRO_JOBS or 1)",
+    )
+    run_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the persistent result store (always recompute)",
+    )
     run_parser.set_defaults(func=_cmd_run)
 
     sim_parser = subparsers.add_parser("sim", help="run one simulation")
@@ -134,7 +186,29 @@ def build_parser() -> argparse.ArgumentParser:
     group.add_argument("--benchmark", help="benchmark name (e.g. art_like)")
     sim_parser.add_argument("--policy", default="nucache", choices=policy_names())
     sim_parser.add_argument("--accesses", type=int, default=DEFAULT_ACCESSES)
+    sim_parser.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED,
+        help="root RNG seed for trace generation (default: %(default)s)",
+    )
     sim_parser.set_defaults(func=_cmd_sim)
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect or maintain the persistent result store"
+    )
+    cache_parser.add_argument(
+        "action", choices=("stats", "clear", "prune"),
+        help="stats: entry count/footprint; clear: drop everything; "
+        "prune: trim by age and/or count",
+    )
+    cache_parser.add_argument(
+        "--keep", type=int, default=None, metavar="N",
+        help="prune: keep only the N most recent entries",
+    )
+    cache_parser.add_argument(
+        "--max-age-days", type=float, default=None, metavar="D",
+        help="prune: drop entries older than D days",
+    )
+    cache_parser.set_defaults(func=_cmd_cache)
 
     char_parser = subparsers.add_parser(
         "characterize", help="reuse-distance characterization of a benchmark"

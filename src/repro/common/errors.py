@@ -40,3 +40,11 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment driver was invoked with unusable parameters."""
+
+
+class ExecError(ReproError):
+    """A simulation job could not be scheduled or executed.
+
+    Raised by the :mod:`repro.exec` layer when a job spec is malformed or
+    when jobs of a batch still fail after the scheduler's retries.
+    """

@@ -1,0 +1,54 @@
+"""Parallel simulation scheduling with a content-addressed result store.
+
+The evaluation is an embarrassingly parallel grid of independent,
+deterministic simulations.  This package gives that shape first-class
+treatment:
+
+* :class:`~repro.exec.job.SimJob` — a frozen, hashable spec of one
+  simulation with a stable content hash (:meth:`~repro.exec.job.SimJob.key`).
+* :class:`~repro.exec.store.ResultStore` — persists results by content
+  hash on disk, so repeated runs are incremental across invocations.
+* :class:`~repro.exec.scheduler.Scheduler` — dedups a batch, serves
+  cache hits, fans misses across a process pool with retry and a
+  progress hook.
+* :mod:`~repro.exec.context` — process-wide defaults
+  (``run --jobs N --no-cache``, ``REPRO_JOBS``) and :func:`run_jobs`,
+  the entry point the experiment drivers use.
+
+See ``docs/execution.md`` for the full model.
+"""
+
+from repro.exec.context import (
+    ExecConfig,
+    configure,
+    current,
+    get_scheduler,
+    reset,
+    reset_totals,
+    resolve_store,
+    run_jobs,
+    totals,
+)
+from repro.exec.job import ENGINE_VERSION, SimJob, execute_job
+from repro.exec.scheduler import BatchReport, Scheduler
+from repro.exec.store import STORE_ENV_VAR, ResultStore, StoreStats
+
+__all__ = [
+    "BatchReport",
+    "ENGINE_VERSION",
+    "ExecConfig",
+    "ResultStore",
+    "STORE_ENV_VAR",
+    "Scheduler",
+    "SimJob",
+    "StoreStats",
+    "configure",
+    "current",
+    "execute_job",
+    "get_scheduler",
+    "reset",
+    "reset_totals",
+    "resolve_store",
+    "run_jobs",
+    "totals",
+]

@@ -1,0 +1,151 @@
+"""Process-wide execution defaults and the grid entry point.
+
+The experiment drivers are plain functions — threading a worker count
+and a cache flag through every one of them would bloat each signature
+for a setting that is global by nature (one CLI invocation, one worker
+budget).  Instead this module holds a single :class:`ExecConfig` the CLI
+(``run --jobs N --no-cache``), the benchmark conftest and tests
+configure, and :func:`run_jobs` — the one call every grid goes through.
+
+Defaults come from the environment so non-CLI entry points (pytest, the
+examples, notebooks) inherit them too:
+
+* ``REPRO_JOBS`` — default worker count (``1`` = serial).
+* ``REPRO_CACHE_DIR`` — result-store location (see
+  :mod:`repro.exec.store`).
+
+Run-wide totals are accumulated across batches so the CLI can report
+completed/cached/failed counts per experiment.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.common.errors import ExecError
+from repro.exec.job import SimJob
+from repro.exec.scheduler import BatchReport, ProgressHook, Scheduler
+from repro.exec.store import ResultStore
+from repro.sim.engine import SimResult
+
+#: Environment variable giving the default worker count.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+
+def _default_jobs() -> int:
+    raw = os.environ.get(JOBS_ENV_VAR)
+    if raw is None:
+        return 1
+    try:
+        jobs = int(raw)
+    except ValueError:
+        raise ExecError(f"{JOBS_ENV_VAR} must be an integer, got {raw!r}") from None
+    if jobs <= 0:
+        raise ExecError(f"{JOBS_ENV_VAR} must be positive, got {jobs}")
+    return jobs
+
+
+@dataclass
+class ExecConfig:
+    """Process-wide scheduler defaults."""
+
+    jobs: int = 1
+    use_cache: bool = True
+    timeout: Optional[float] = None
+    retries: int = 1
+    progress: Optional[ProgressHook] = None
+
+
+_config: Optional[ExecConfig] = None
+_totals = BatchReport()
+
+
+def current() -> ExecConfig:
+    """The active config (built from the environment on first use)."""
+    global _config
+    if _config is None:
+        _config = ExecConfig(jobs=_default_jobs())
+    return _config
+
+
+def configure(
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+    timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+    progress: Optional[ProgressHook] = None,
+) -> ExecConfig:
+    """Override execution defaults; ``None`` leaves a field untouched."""
+    config = current()
+    if jobs is not None:
+        if jobs <= 0:
+            raise ExecError(f"jobs must be positive, got {jobs}")
+        config.jobs = int(jobs)
+    if use_cache is not None:
+        config.use_cache = bool(use_cache)
+    if timeout is not None:
+        config.timeout = timeout
+    if retries is not None:
+        config.retries = retries
+    if progress is not None:
+        config.progress = progress
+    return config
+
+
+def reset() -> None:
+    """Drop overrides; the next use re-reads the environment."""
+    global _config
+    _config = None
+    reset_totals()
+
+
+def resolve_store() -> Optional[ResultStore]:
+    """The result store per current config (``None`` when caching is off).
+
+    Built fresh each call so ``REPRO_CACHE_DIR`` changes (e.g. a test
+    pointing the store at a tmpdir) take effect immediately.
+    """
+    if not current().use_cache:
+        return None
+    return ResultStore()
+
+
+def get_scheduler(progress: Optional[ProgressHook] = None) -> Scheduler:
+    """A scheduler honouring the current process-wide config."""
+    config = current()
+    return Scheduler(
+        jobs=config.jobs,
+        store=resolve_store(),
+        timeout=config.timeout,
+        retries=config.retries,
+        progress=progress if progress is not None else config.progress,
+    )
+
+
+def run_jobs(batch: Sequence[SimJob]) -> List[SimResult]:
+    """Resolve a batch of jobs under the process-wide defaults.
+
+    This is the call every experiment grid funnels through: cache-first,
+    parallel on miss, results in submission order.  Batch outcomes are
+    folded into the run-wide totals for CLI reporting.
+    """
+    scheduler = get_scheduler()
+    results = scheduler.run(batch)
+    if scheduler.last_report is not None:
+        _totals.merge(scheduler.last_report)
+    return results
+
+
+def totals() -> BatchReport:
+    """Run-wide outcome totals accumulated since the last reset."""
+    snapshot = BatchReport()
+    snapshot.merge(_totals)
+    return snapshot
+
+
+def reset_totals() -> None:
+    """Zero the run-wide totals (the CLI calls this per experiment)."""
+    global _totals
+    _totals = BatchReport()

@@ -1,0 +1,280 @@
+"""Simulation job specs: frozen, hashable, content-addressed.
+
+A :class:`SimJob` is a complete description of one deterministic
+simulation — everything :func:`repro.sim.runner.run_workload` or
+:func:`~repro.sim.runner.run_single` needs to reproduce it bit-for-bit.
+Because the simulator is a pure function of this spec, the job's content
+hash (:meth:`SimJob.key`) can address a persistent result store: two
+invocations that build the same job get the same result without
+re-simulating.
+
+Keys are versioned with :data:`ENGINE_VERSION`; bump it whenever a
+change to the simulator alters results for an unchanged spec, and every
+stale store entry is invalidated at once (old versions live in separate
+subdirectories the ``cache prune``/``clear`` ops can sweep).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.common.errors import ExecError
+
+#: Bump when simulator semantics change so stored results are invalidated.
+ENGINE_VERSION = 1
+
+#: Scalar types allowed in NUcache overrides (must survive a JSON round
+#: trip exactly for keys to be stable).
+_SCALAR_TYPES = (bool, int, float, str)
+
+_KINDS = ("workload", "single")
+
+
+def _normalized_overrides(
+    overrides: Dict[str, object]
+) -> Tuple[Tuple[str, object], ...]:
+    for name, value in overrides.items():
+        if not isinstance(value, _SCALAR_TYPES):
+            raise ExecError(
+                f"override {name}={value!r} is not a scalar; jobs only "
+                f"accept {', '.join(t.__name__ for t in _SCALAR_TYPES)}"
+            )
+    return tuple(sorted(overrides.items()))
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One simulation, fully specified.
+
+    Attributes:
+        kind: ``"workload"`` (one trace per member against a shared LLC
+            sized for ``len(members)`` cores) or ``"single"`` (an alone
+            run: one benchmark monopolizing an LLC sized for
+            ``capacity_cores`` cores).
+        members: benchmark names, one per core (exactly one for
+            ``"single"`` jobs).
+        policy: LLC policy name (see :func:`repro.sim.policies.make_llc`).
+        accesses: trace length per core.
+        seed: root RNG seed.
+        warmup_fraction: fraction of each trace used to warm caches.
+        prefetcher: per-core prefetcher name, ``"none"`` to disable.
+        memory_model: ``"fixed"`` or ``"bandwidth"`` (workload jobs only).
+        capacity_cores: single jobs: core count the LLC is sized for.
+        overrides: sorted ``(name, value)`` NUcache config overrides.
+    """
+
+    members: Tuple[str, ...]
+    policy: str
+    accesses: int
+    seed: int
+    kind: str = "workload"
+    warmup_fraction: float = 0.25
+    prefetcher: str = "none"
+    memory_model: str = "fixed"
+    capacity_cores: int = 1
+    overrides: Tuple[Tuple[str, object], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ExecError(f"kind must be one of {_KINDS}, got {self.kind!r}")
+        if not self.members:
+            raise ExecError("a job needs at least one benchmark member")
+        if self.kind == "single" and len(self.members) != 1:
+            raise ExecError(
+                f"single jobs take exactly one member, got {self.members!r}"
+            )
+        if self.accesses <= 0:
+            raise ExecError(f"accesses must be positive, got {self.accesses}")
+        if self.capacity_cores <= 0:
+            raise ExecError(
+                f"capacity_cores must be positive, got {self.capacity_cores}"
+            )
+        # Normalize so construction order of overrides never changes the key.
+        object.__setattr__(self, "members", tuple(self.members))
+        object.__setattr__(
+            self, "overrides", tuple(sorted(tuple(pair) for pair in self.overrides))
+        )
+
+    # ------------------------------------------------------------------
+    # Constructors mirroring the runner's public helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def workload(
+        cls,
+        members: Sequence[str],
+        policy: str,
+        accesses: int,
+        seed: Optional[int] = None,
+        warmup_fraction: Optional[float] = None,
+        prefetcher: str = "none",
+        memory_model: str = "fixed",
+        **overrides: object,
+    ) -> "SimJob":
+        """Job equivalent of :func:`repro.sim.runner.run_workload`."""
+        from repro.common.rng import DEFAULT_SEED
+        from repro.sim.runner import DEFAULT_WARMUP_FRACTION
+
+        return cls(
+            members=tuple(members),
+            policy=policy,
+            accesses=accesses,
+            seed=DEFAULT_SEED if seed is None else seed,
+            kind="workload",
+            warmup_fraction=(
+                DEFAULT_WARMUP_FRACTION if warmup_fraction is None else warmup_fraction
+            ),
+            prefetcher=prefetcher,
+            memory_model=memory_model,
+            overrides=_normalized_overrides(overrides),
+        )
+
+    @classmethod
+    def mix(
+        cls,
+        mix_name: str,
+        policy: str,
+        accesses: int,
+        seed: Optional[int] = None,
+        **kwargs: object,
+    ) -> "SimJob":
+        """Job equivalent of :func:`repro.sim.runner.run_mix`."""
+        from repro.workloads.mixes import mix_members
+
+        return cls.workload(mix_members(mix_name), policy, accesses, seed, **kwargs)
+
+    @classmethod
+    def single(
+        cls,
+        benchmark_name: str,
+        policy: str,
+        accesses: int,
+        seed: Optional[int] = None,
+        capacity_cores: int = 1,
+        warmup_fraction: Optional[float] = None,
+        prefetcher: str = "none",
+        **overrides: object,
+    ) -> "SimJob":
+        """Job equivalent of :func:`repro.sim.runner.run_single`."""
+        from repro.common.rng import DEFAULT_SEED
+        from repro.sim.runner import DEFAULT_WARMUP_FRACTION
+
+        return cls(
+            members=(benchmark_name,),
+            policy=policy,
+            accesses=accesses,
+            seed=DEFAULT_SEED if seed is None else seed,
+            kind="single",
+            warmup_fraction=(
+                DEFAULT_WARMUP_FRACTION if warmup_fraction is None else warmup_fraction
+            ),
+            prefetcher=prefetcher,
+            capacity_cores=capacity_cores,
+            overrides=_normalized_overrides(overrides),
+        )
+
+    @classmethod
+    def alone(
+        cls,
+        benchmark_name: str,
+        capacity_cores: int,
+        accesses: int,
+        seed: Optional[int] = None,
+        policy: str = "lru",
+    ) -> "SimJob":
+        """The weighted-speedup denominator run: one benchmark, whole LLC."""
+        return cls.single(
+            benchmark_name, policy, accesses, seed, capacity_cores=capacity_cores
+        )
+
+    # ------------------------------------------------------------------
+    # Content addressing and serialization
+    # ------------------------------------------------------------------
+
+    def spec(self) -> Dict[str, object]:
+        """Canonical field dict (the hashed content)."""
+        return {
+            "kind": self.kind,
+            "members": list(self.members),
+            "policy": self.policy,
+            "accesses": self.accesses,
+            "seed": self.seed,
+            "warmup_fraction": self.warmup_fraction,
+            "prefetcher": self.prefetcher,
+            "memory_model": self.memory_model,
+            "capacity_cores": self.capacity_cores,
+            "overrides": [[name, value] for name, value in self.overrides],
+        }
+
+    def key(self) -> str:
+        """Stable content hash addressing this job's result in the store."""
+        canon = json.dumps(
+            {"engine_version": ENGINE_VERSION, "spec": self.spec()},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable representation (round-trips via from_dict)."""
+        return self.spec()
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SimJob":
+        """Rebuild a job from :meth:`to_dict` output."""
+        return cls(
+            members=tuple(payload["members"]),
+            policy=str(payload["policy"]),
+            accesses=int(payload["accesses"]),
+            seed=int(payload["seed"]),
+            kind=str(payload["kind"]),
+            warmup_fraction=float(payload["warmup_fraction"]),
+            prefetcher=str(payload["prefetcher"]),
+            memory_model=str(payload["memory_model"]),
+            capacity_cores=int(payload["capacity_cores"]),
+            overrides=tuple((name, value) for name, value in payload["overrides"]),
+        )
+
+    def describe(self) -> str:
+        """Short human-readable label for progress reporting."""
+        target = "+".join(self.members)
+        extras = "".join(f" {name}={value}" for name, value in self.overrides)
+        return f"{self.kind}:{target}@{self.policy} n={self.accesses}{extras}"
+
+
+def execute_job(job: SimJob):
+    """Run one job to completion and return its :class:`SimResult`.
+
+    A module-level function so :class:`~concurrent.futures.ProcessPoolExecutor`
+    workers can pickle it.  Imports lazily so forked workers pay the
+    import cost only once (via the parent) and no import cycle forms
+    between the exec and sim layers.
+    """
+    from repro.sim.runner import run_single, run_workload
+
+    overrides = dict(job.overrides)
+    if job.kind == "single":
+        return run_single(
+            job.members[0],
+            job.policy,
+            job.accesses,
+            job.seed,
+            num_cores_capacity=job.capacity_cores,
+            warmup_fraction=job.warmup_fraction,
+            prefetcher=job.prefetcher,
+            **overrides,
+        )
+    return run_workload(
+        job.members,
+        job.policy,
+        None,
+        job.accesses,
+        job.seed,
+        job.warmup_fraction,
+        job.prefetcher,
+        job.memory_model,
+        **overrides,
+    )

@@ -1,0 +1,294 @@
+"""The batch scheduler: cache-first, parallel on miss.
+
+A :class:`Scheduler` takes a batch of :class:`~repro.exec.job.SimJob`
+specs and returns their results in submission order.  The pipeline:
+
+1. **Dedup** — identical jobs (same content key) are simulated once and
+   fanned back out to every occurrence; experiment grids repeat alone
+   runs heavily, so this alone saves real work.
+2. **Cache lookup** — if a :class:`~repro.exec.store.ResultStore` is
+   attached, every unique job is first looked up by content hash.
+3. **Execute** — misses run through a ``ProcessPoolExecutor`` when more
+   than one worker is configured (and there is more than one miss),
+   else inline.  Each miss gets ``1 + retries`` attempts; a worker
+   crash (``BrokenProcessPool``) or per-job timeout tears the pool down,
+   and surviving work is resubmitted to a fresh pool without being
+   charged an attempt.
+4. **Report** — an optional progress callback receives one event per
+   resolved job plus a final ``batch`` event carrying the
+   :class:`BatchReport` (completed/cached/failed counts and wall time).
+
+Simulations are pure functions of their job spec, so a batch's results
+are identical regardless of worker count or cache state — the
+equivalence tests in ``tests/test_exec.py`` pin this down.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.common.errors import ExecError
+from repro.exec.job import SimJob, execute_job
+from repro.exec.store import ResultStore
+from repro.sim.engine import SimResult
+
+#: Signature of the progress hook: receives event dicts with at least an
+#: ``"event"`` field (``cached`` / ``completed`` / ``failed`` / ``retry``
+#: / ``batch``).
+ProgressHook = Callable[[Dict[str, object]], None]
+
+
+@dataclass
+class BatchReport:
+    """Outcome counts for one scheduler batch (occurrence-weighted)."""
+
+    total: int = 0
+    completed: int = 0
+    cached: int = 0
+    failed: int = 0
+    retried: int = 0
+    wall_time: float = 0.0
+
+    @property
+    def cache_fraction(self) -> float:
+        """Fraction of the batch served from the result store."""
+        if self.total == 0:
+            return 0.0
+        return self.cached / self.total
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.total} jobs: {self.completed} computed, "
+            f"{self.cached} cached, {self.failed} failed "
+            f"({self.retried} retried) in {self.wall_time:.2f}s"
+        )
+
+    def merge(self, other: "BatchReport") -> None:
+        """Accumulate another report into this one (for run-wide totals)."""
+        self.total += other.total
+        self.completed += other.completed
+        self.cached += other.cached
+        self.failed += other.failed
+        self.retried += other.retried
+        self.wall_time += other.wall_time
+
+
+@dataclass
+class _JobState:
+    """Bookkeeping for one unique job within a batch."""
+
+    job: SimJob
+    indices: List[int] = field(default_factory=list)
+    attempts: int = 0
+    error: Optional[str] = None
+
+
+class Scheduler:
+    """Fans a batch of simulation jobs across worker processes.
+
+    Args:
+        jobs: worker process count; ``<= 1`` runs every job inline in
+            this process (the strictly serial path).
+        store: result store for cache-first execution, or ``None`` to
+            always recompute (``--no-cache``).
+        timeout: per-job wall-clock limit in seconds (pool mode only —
+            an inline job cannot be preempted).
+        retries: extra attempts a job gets after a crash, timeout or
+            error before counting as failed.
+        progress: optional event hook (see :data:`ProgressHook`).
+        strict: raise :class:`~repro.common.errors.ExecError` if any job
+            is still failed after retries; when ``False``, failed slots
+            come back as ``None`` and only the report records them.
+        execute: the job runner (overridable for tests; must be
+            picklable when running with a process pool).
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        store: Optional[ResultStore] = None,
+        timeout: Optional[float] = None,
+        retries: int = 1,
+        progress: Optional[ProgressHook] = None,
+        strict: bool = True,
+        execute: Callable[[SimJob], SimResult] = execute_job,
+    ) -> None:
+        if retries < 0:
+            raise ExecError(f"retries must be >= 0, got {retries}")
+        self.jobs = max(1, int(jobs))
+        self.store = store
+        self.timeout = timeout
+        self.retries = retries
+        self.progress = progress
+        self.strict = strict
+        self.execute = execute
+        self.last_report: Optional[BatchReport] = None
+
+    # ------------------------------------------------------------------
+
+    def _emit(self, event: str, state: _JobState, done: int, total: int) -> None:
+        if self.progress is None:
+            return
+        self.progress(
+            {
+                "event": event,
+                "job": state.job,
+                "key": state.job.key(),
+                "label": state.job.describe(),
+                "error": state.error,
+                "done": done,
+                "total": total,
+            }
+        )
+
+    def run(self, batch: Sequence[SimJob]) -> List[Optional[SimResult]]:
+        """Resolve every job of ``batch``, in order.
+
+        Returns one :class:`SimResult` per submitted job (duplicates
+        share one simulation).  With ``strict=True`` (the default) a job
+        that fails after retries raises; otherwise its slot is ``None``.
+        """
+        started = time.monotonic()
+        report = BatchReport(total=len(batch))
+        results: List[Optional[SimResult]] = [None] * len(batch)
+
+        # Dedup by content key, preserving first-seen order.
+        states: Dict[str, _JobState] = {}
+        for index, job in enumerate(batch):
+            state = states.setdefault(job.key(), _JobState(job=job))
+            state.indices.append(index)
+        unique = list(states.values())
+
+        def settle(state: _JobState, result: SimResult, cached: bool) -> None:
+            for index in state.indices:
+                results[index] = result
+            if cached:
+                report.cached += len(state.indices)
+            else:
+                report.completed += len(state.indices)
+            done = report.cached + report.completed + report.failed
+            self._emit("cached" if cached else "completed", state, done, report.total)
+
+        failures: List[_JobState] = []
+
+        def fail(state: _JobState) -> None:
+            failures.append(state)
+            report.failed += len(state.indices)
+            done = report.cached + report.completed + report.failed
+            self._emit("failed", state, done, report.total)
+
+        # Cache-first pass.
+        misses: List[_JobState] = []
+        for state in unique:
+            stored = self.store.get(state.job) if self.store is not None else None
+            if stored is not None:
+                settle(state, stored, cached=True)
+            else:
+                misses.append(state)
+
+        # Execute misses, retrying per job.
+        pending = list(misses)
+        while pending:
+            use_pool = self.jobs > 1 and len(pending) > 1
+            completed, retry, failed = (
+                self._run_pool(pending) if use_pool else self._run_inline(pending)
+            )
+            for state, result in completed:
+                if self.store is not None:
+                    self.store.put(state.job, result)
+                settle(state, result, cached=False)
+            for state in failed:
+                fail(state)
+            for state in retry:
+                report.retried += 1
+                self._emit("retry", state, report.cached + report.completed + report.failed, report.total)
+            pending = retry
+
+        report.wall_time = time.monotonic() - started
+        self.last_report = report
+        if self.progress is not None:
+            self.progress({"event": "batch", "report": report})
+        if self.strict and report.failed:
+            details = "; ".join(
+                f"{state.job.describe()}: {state.error}" for state in failures[:5]
+            )
+            raise ExecError(
+                f"{report.failed} of {report.total} jobs failed after "
+                f"{self.retries} retries — {details}"
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    # Execution backends.  Both return (completed, retry, failed) where
+    # completed pairs each state with its result.
+    # ------------------------------------------------------------------
+
+    def _charge(self, state: _JobState, error: str):
+        """Record a failed attempt; route the job to retry or failure."""
+        state.attempts += 1
+        state.error = error
+        return state.attempts <= self.retries
+
+    def _run_inline(self, pending: List[_JobState]):
+        completed, retry, failed = [], [], []
+        for state in pending:
+            try:
+                completed.append((state, self.execute(state.job)))
+            except Exception as exc:  # noqa: BLE001 — converted to job failure
+                (retry if self._charge(state, repr(exc)) else failed).append(state)
+        return completed, retry, failed
+
+    def _run_pool(self, pending: List[_JobState]):
+        completed, retry, failed = [], [], []
+        workers = min(self.jobs, len(pending))
+        pool = ProcessPoolExecutor(max_workers=workers)
+        futures = [(state, pool.submit(self.execute, state.job)) for state in pending]
+        pool_dead = False
+        try:
+            for state, future in futures:
+                if pool_dead:
+                    # The pool died mid-batch.  Jobs that finished before
+                    # the break still hold results; the rest are requeued
+                    # without being charged an attempt (they never ran).
+                    try:
+                        completed.append((state, future.result(timeout=0)))
+                    except Exception:  # noqa: BLE001
+                        retry.append(state)
+                    continue
+                try:
+                    completed.append((state, future.result(timeout=self.timeout)))
+                except FutureTimeout:
+                    pool_dead = True
+                    self._terminate_workers(pool)
+                    if self._charge(state, f"timed out after {self.timeout}s"):
+                        retry.append(state)
+                    else:
+                        failed.append(state)
+                except BrokenProcessPool:
+                    pool_dead = True
+                    if self._charge(state, "worker process crashed"):
+                        retry.append(state)
+                    else:
+                        failed.append(state)
+                except Exception as exc:  # noqa: BLE001 — converted to job failure
+                    (retry if self._charge(state, repr(exc)) else failed).append(state)
+        finally:
+            if pool_dead:
+                self._terminate_workers(pool)
+            pool.shutdown(wait=not pool_dead, cancel_futures=True)
+        return completed, retry, failed
+
+    @staticmethod
+    def _terminate_workers(pool: ProcessPoolExecutor) -> None:
+        """Best-effort kill of a pool whose work must not be awaited."""
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except Exception:  # noqa: BLE001 — already dying
+                pass

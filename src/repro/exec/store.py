@@ -1,0 +1,192 @@
+"""Persistent content-addressed result store.
+
+Results live as one JSON file per job under a versioned root::
+
+    <cache dir>/v<ENGINE_VERSION>/<key[:2]>/<key>.json
+
+where ``<cache dir>`` is ``$REPRO_CACHE_DIR`` if set, else
+``~/.cache/nucache-repro``.  The two-character fan-out keeps directories
+small for multi-thousand-entry stores.  Writes are atomic
+(temp file + ``os.replace``) so concurrent workers and interrupted runs
+never leave a half-written entry; a corrupted or unreadable entry is
+treated as a miss and deleted, so the scheduler simply recomputes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from repro.exec.job import ENGINE_VERSION, SimJob
+from repro.sim.engine import SimResult
+
+#: Environment variable overriding the store location.
+STORE_ENV_VAR = "REPRO_CACHE_DIR"
+
+
+def default_store_dir() -> Path:
+    """Resolve the store root from the environment (unversioned)."""
+    override = os.environ.get(STORE_ENV_VAR)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "nucache-repro"
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Summary of the store's on-disk footprint."""
+
+    root: str
+    entries: int
+    total_bytes: int
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        kib = self.total_bytes / 1024.0
+        return f"{self.entries} entries, {kib:.1f} KiB in {self.root}"
+
+
+class ResultStore:
+    """Maps job content hashes to serialized simulation results."""
+
+    def __init__(self, root: Optional[Union[str, Path]] = None) -> None:
+        base = Path(root) if root is not None else default_store_dir()
+        self.base = base
+        self.root = base / f"v{ENGINE_VERSION}"
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def _entries(self) -> Iterator[Path]:
+        if not self.root.is_dir():
+            return iter(())
+        return self.root.glob("*/*.json")
+
+    def get(self, job: SimJob) -> Optional[SimResult]:
+        """Stored result for ``job``, or ``None`` on miss.
+
+        A corrupted entry (truncated write, bad JSON, missing fields) is
+        deleted and reported as a miss so callers fall back to
+        recomputation rather than crashing.
+        """
+        path = self._path(job.key())
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            return SimResult.from_dict(payload["result"])
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def __contains__(self, job: SimJob) -> bool:
+        return self._path(job.key()).is_file()
+
+    def put(self, job: SimJob, result: SimResult) -> Path:
+        """Persist ``result`` under ``job``'s key (atomic replace)."""
+        path = self._path(job.key())
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "engine_version": ENGINE_VERSION,
+            "created": time.time(),
+            "job": job.to_dict(),
+            "result": result.to_dict(),
+        }
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+        os.replace(tmp, path)
+        return path
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def stats(self) -> StoreStats:
+        """Entry count and byte footprint of the current version's store."""
+        entries = 0
+        total = 0
+        for path in self._entries():
+            try:
+                total += path.stat().st_size
+                entries += 1
+            except OSError:
+                continue
+        return StoreStats(root=str(self.root), entries=entries, total_bytes=total)
+
+    def clear(self) -> int:
+        """Delete every entry of every version.  Returns entries removed."""
+        removed = 0
+        if not self.base.is_dir():
+            return removed
+        for path in self.base.glob("v*/*/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        self._sweep_empty_dirs()
+        return removed
+
+    def prune(
+        self,
+        max_age_days: Optional[float] = None,
+        keep: Optional[int] = None,
+    ) -> int:
+        """Trim the store; returns the number of entries removed.
+
+        Entries from *older engine versions* are always removed (they can
+        never be read again).  Then, of the current version's entries,
+        drop those older than ``max_age_days`` and — if ``keep`` is given
+        — all but the ``keep`` most recently touched.
+        """
+        removed = 0
+        if self.base.is_dir():
+            for version_dir in self.base.glob("v*"):
+                if version_dir.name == self.root.name:
+                    continue
+                for path in version_dir.glob("*/*.json"):
+                    try:
+                        path.unlink()
+                        removed += 1
+                    except OSError:
+                        continue
+        aged = []
+        for path in self._entries():
+            try:
+                aged.append((path.stat().st_mtime, path))
+            except OSError:
+                continue
+        aged.sort(reverse=True)  # newest first
+        cutoff = None if max_age_days is None else time.time() - max_age_days * 86400.0
+        for rank, (mtime, path) in enumerate(aged):
+            too_old = cutoff is not None and mtime < cutoff
+            overflow = keep is not None and rank >= keep
+            if too_old or overflow:
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    continue
+        self._sweep_empty_dirs()
+        return removed
+
+    def _sweep_empty_dirs(self) -> None:
+        if not self.base.is_dir():
+            return
+        for version_dir in sorted(self.base.glob("v*"), reverse=True):
+            for bucket in sorted(version_dir.glob("*"), reverse=True):
+                try:
+                    bucket.rmdir()
+                except OSError:
+                    pass
+            try:
+                version_dir.rmdir()
+            except OSError:
+                pass

@@ -22,8 +22,17 @@ from repro.experiments import (
     table5_seeds,
     table2_overhead,
 )
-from repro.experiments.base import ExperimentResult, render_table, scaled_accesses
-from repro.experiments.harness import mix_weighted_speedups, multicore_comparison
+from repro.experiments.base import (
+    ExperimentResult,
+    render_table,
+    scaled_accesses,
+    sim_grid,
+)
+from repro.experiments.harness import (
+    grid_weighted_speedups,
+    mix_weighted_speedups,
+    multicore_comparison,
+)
 from repro.experiments.plots import bar_chart, render_with_bars, result_bars, sparkline
 
 #: Registry mapping experiment ids to zero-argument runners.
@@ -71,6 +80,7 @@ __all__ = [
     "ExperimentResult",
     "bar_chart",
     "experiment_ids",
+    "grid_weighted_speedups",
     "mix_weighted_speedups",
     "multicore_comparison",
     "render_table",
@@ -78,5 +88,6 @@ __all__ = [
     "result_bars",
     "run_experiment",
     "scaled_accesses",
+    "sim_grid",
     "sparkline",
 ]

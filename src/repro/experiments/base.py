@@ -19,6 +19,19 @@ from repro.common.errors import ExperimentError
 SCALE_ENV_VAR = "REPRO_SCALE"
 
 
+def sim_grid(jobs: Sequence["object"]) -> List["object"]:
+    """Resolve a batch of :class:`~repro.exec.job.SimJob` specs.
+
+    The grid-shaped drivers build their whole (benchmark x variant)
+    batch up front and submit it here: results come back in submission
+    order, cache-first and parallel on miss, under the process-wide
+    execution defaults (``run --jobs N --no-cache``, ``REPRO_JOBS``).
+    """
+    from repro.exec import run_jobs
+
+    return run_jobs(jobs)
+
+
 def scaled_accesses(default: int) -> int:
     """Apply the ``REPRO_SCALE`` environment scaling to a trace length."""
     raw = os.environ.get(SCALE_ENV_VAR)

@@ -11,9 +11,10 @@ benefit compounds under contention.
 from __future__ import annotations
 
 from repro.common.rng import DEFAULT_SEED
-from repro.experiments.base import ExperimentResult, scaled_accesses
+from repro.exec import SimJob
+from repro.experiments.base import ExperimentResult, scaled_accesses, sim_grid
 from repro.metrics.multicore import geometric_mean, weighted_speedup
-from repro.sim.runner import alone_ipc, run_mix
+from repro.sim.runner import alone_ipc
 from repro.workloads.mixes import mix_members, mix_names
 
 EXPERIMENT_ID = "fig13"
@@ -26,15 +27,26 @@ def run(accesses: int = DEFAULT_ACCESSES, seed: int = DEFAULT_SEED,
         num_cores: int = 8) -> ExperimentResult:
     """Run the mix table under both memory models."""
     accesses = scaled_accesses(accesses)
+    mixes = mix_names(num_cores)
+    results = iter(
+        sim_grid(
+            [
+                SimJob.mix(mix_name, policy, accesses, seed, memory_model=model)
+                for mix_name in mixes
+                for model in MEMORY_MODELS
+                for policy in ("lru", "nucache")
+            ]
+        )
+    )
     rows = []
     improvements = {model: [] for model in MEMORY_MODELS}
-    for mix_name in mix_names(num_cores):
+    for mix_name in mixes:
         members = mix_members(mix_name)
         alone = [alone_ipc(name, num_cores, accesses, seed) for name in members]
         row: dict = {"mix": mix_name}
         for model in MEMORY_MODELS:
-            base = run_mix(mix_name, "lru", accesses, seed, memory_model=model)
-            nuca = run_mix(mix_name, "nucache", accesses, seed, memory_model=model)
+            base = next(results)
+            nuca = next(results)
             base_ws = weighted_speedup(base.ipcs, alone)
             nuca_ws = weighted_speedup(nuca.ipcs, alone)
             gain = nuca_ws / base_ws - 1.0

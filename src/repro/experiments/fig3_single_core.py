@@ -8,10 +8,10 @@ reuse the 16-way LRU cannot) without hurting the LRU-friendly programs.
 from __future__ import annotations
 
 from repro.common.rng import DEFAULT_SEED
-from repro.experiments.base import ExperimentResult, scaled_accesses
+from repro.exec import SimJob
+from repro.experiments.base import ExperimentResult, scaled_accesses, sim_grid
 from repro.metrics.basic import miss_reduction
 from repro.metrics.multicore import geometric_mean
-from repro.sim.runner import run_single
 from repro.workloads.spec_like import benchmark_class, benchmark_names
 
 EXPERIMENT_ID = "fig3"
@@ -22,11 +22,19 @@ DEFAULT_ACCESSES = 150_000
 def run(accesses: int = DEFAULT_ACCESSES, seed: int = DEFAULT_SEED) -> ExperimentResult:
     """Run every benchmark under LRU and NUcache on a one-core machine."""
     accesses = scaled_accesses(accesses)
+    names = benchmark_names()
+    results = sim_grid(
+        [
+            SimJob.single(name, policy, accesses, seed)
+            for name in names
+            for policy in ("lru", "nucache")
+        ]
+    )
     rows = []
     speedups = []
-    for name in benchmark_names():
-        base = run_single(name, "lru", accesses, seed).cores[0]
-        nuca = run_single(name, "nucache", accesses, seed).cores[0]
+    for index, name in enumerate(names):
+        base = results[2 * index].cores[0]
+        nuca = results[2 * index + 1].cores[0]
         speedup = nuca.ipc / base.ipc if base.ipc else 1.0
         speedups.append(speedup)
         rows.append(

@@ -14,9 +14,9 @@ see EXPERIMENTS.md.)
 from __future__ import annotations
 
 from repro.common.rng import DEFAULT_SEED
-from repro.experiments.base import ExperimentResult, scaled_accesses
+from repro.exec import SimJob
+from repro.experiments.base import ExperimentResult, scaled_accesses, sim_grid
 from repro.metrics.multicore import geometric_mean
-from repro.sim.runner import run_single
 
 EXPERIMENT_ID = "fig4"
 TITLE = "IPC vs number of DeliWays (16-way LLC, single core)"
@@ -33,13 +33,21 @@ BENCHMARKS = (
 def run(accesses: int = DEFAULT_ACCESSES, seed: int = DEFAULT_SEED) -> ExperimentResult:
     """Sweep deli_ways for the representative benchmarks."""
     accesses = scaled_accesses(accesses)
+    batch = []
+    for name in BENCHMARKS:
+        batch.append(SimJob.single(name, "lru", accesses, seed))
+        batch.extend(
+            SimJob.single(name, "nucache", accesses, seed, deli_ways=deli)
+            for deli in DELI_SWEEP
+        )
+    results = iter(sim_grid(batch))
     rows = []
     per_split = {deli: [] for deli in DELI_SWEEP}
     for name in BENCHMARKS:
-        baseline_ipc = run_single(name, "lru", accesses, seed).cores[0].ipc
+        baseline_ipc = next(results).cores[0].ipc
         row: dict = {"benchmark": name, "lru_ipc": round(baseline_ipc, 4)}
         for deli in DELI_SWEEP:
-            result = run_single(name, "nucache", accesses, seed, deli_ways=deli)
+            result = next(results)
             relative = result.cores[0].ipc / baseline_ipc if baseline_ipc else 1.0
             row[f"D={deli}"] = round(relative, 4)
             per_split[deli].append(relative)

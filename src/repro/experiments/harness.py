@@ -4,6 +4,14 @@ The multicore figures all follow the same recipe: run every mix of a
 core count under a set of LLC policies, normalize each policy's weighted
 speedup to the LRU baseline, and report per-mix rows plus a geometric
 mean.  This module implements that recipe once.
+
+The full (mix x policy) grid — including every alone-run denominator —
+is built as one batch of :class:`~repro.exec.job.SimJob` specs and
+submitted through the scheduler (:func:`repro.exec.run_jobs`): cache
+hits come back from the persistent result store, misses fan out across
+worker processes, and repeated alone runs are deduplicated inside the
+batch.  Because every simulation is a pure function of its job spec,
+the assembled rows are identical at any worker count or cache state.
 """
 
 from __future__ import annotations
@@ -11,9 +19,54 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 from repro.common.rng import DEFAULT_SEED
+from repro.exec import SimJob, run_jobs
 from repro.metrics.multicore import geometric_mean, weighted_speedup
-from repro.sim.runner import alone_ipc, run_mix
 from repro.workloads.mixes import mix_members, mix_names
+
+
+def grid_weighted_speedups(
+    mixes: Sequence[str],
+    policies: Sequence[str],
+    accesses: int,
+    seed: int = DEFAULT_SEED,
+) -> Dict[str, Dict[str, float]]:
+    """Weighted speedups for every (mix, policy) pair of a grid.
+
+    One scheduler batch resolves all mix runs plus the alone-IPC
+    denominators (LRU on the full shared LLC — the standard convention,
+    shared by every policy, which is what makes the headline "X% over
+    baseline" comparable across policies).
+    """
+    mix_jobs = [
+        SimJob.mix(mix_name, policy, accesses, seed)
+        for mix_name in mixes
+        for policy in policies
+    ]
+    alone_jobs = [
+        SimJob.alone(name, len(mix_members(mix_name)), accesses, seed)
+        for mix_name in mixes
+        for name in mix_members(mix_name)
+    ]
+    batch = mix_jobs + alone_jobs
+    resolved = dict(zip((job.key() for job in batch), run_jobs(batch)))
+
+    speedups: Dict[str, Dict[str, float]] = {}
+    for mix_name in mixes:
+        members = mix_members(mix_name)
+        alone = [
+            resolved[SimJob.alone(name, len(members), accesses, seed).key()]
+            .cores[0]
+            .ipc
+            for name in members
+        ]
+        speedups[mix_name] = {
+            policy: weighted_speedup(
+                resolved[SimJob.mix(mix_name, policy, accesses, seed).key()].ipcs,
+                alone,
+            )
+            for policy in policies
+        }
+    return speedups
 
 
 def mix_weighted_speedups(
@@ -22,19 +75,8 @@ def mix_weighted_speedups(
     accesses: int,
     seed: int = DEFAULT_SEED,
 ) -> Dict[str, float]:
-    """Weighted speedup of one mix under each policy.
-
-    The alone-IPC denominators use LRU on the full shared LLC, shared by
-    every policy (the standard convention, and what makes the headline
-    "X% over baseline" comparable across policies).
-    """
-    members = mix_members(mix_name)
-    alone = [alone_ipc(name, len(members), accesses, seed) for name in members]
-    speedups: Dict[str, float] = {}
-    for policy in policies:
-        result = run_mix(mix_name, policy, accesses, seed)
-        speedups[policy] = weighted_speedup(result.ipcs, alone)
-    return speedups
+    """Weighted speedup of one mix under each policy."""
+    return grid_weighted_speedups([mix_name], policies, accesses, seed)[mix_name]
 
 
 def multicore_comparison(
@@ -52,10 +94,12 @@ def multicore_comparison(
     """
     if baseline not in policies:
         raise ValueError(f"baseline {baseline!r} must be among policies {policies}")
+    mixes = mix_names(num_cores)
+    grid = grid_weighted_speedups(mixes, policies, accesses, seed)
     rows: List[Dict[str, object]] = []
     per_policy: Dict[str, List[float]] = {policy: [] for policy in policies}
-    for mix_name in mix_names(num_cores):
-        speedups = mix_weighted_speedups(mix_name, policies, accesses, seed)
+    for mix_name in mixes:
+        speedups = grid[mix_name]
         row: Dict[str, object] = {"mix": mix_name}
         for policy in policies:
             row[f"ws_{policy}"] = round(speedups[policy], 4)

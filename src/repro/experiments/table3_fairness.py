@@ -10,13 +10,14 @@ NUcache's throughput gain does not come out of one core's hide.
 from __future__ import annotations
 
 from repro.common.rng import DEFAULT_SEED
-from repro.experiments.base import ExperimentResult, scaled_accesses
+from repro.exec import SimJob
+from repro.experiments.base import ExperimentResult, scaled_accesses, sim_grid
 from repro.metrics.multicore import (
     average_normalized_turnaround,
     fairness,
     harmonic_mean_speedup,
 )
-from repro.sim.runner import alone_ipc, run_mix
+from repro.sim.runner import alone_ipc
 from repro.workloads.mixes import mix_members, mix_names
 
 EXPERIMENT_ID = "table3"
@@ -28,13 +29,23 @@ def run(accesses: int = DEFAULT_ACCESSES, seed: int = DEFAULT_SEED,
         num_cores: int = 4) -> ExperimentResult:
     """Compute the fairness table."""
     accesses = scaled_accesses(accesses)
+    mixes = mix_names(num_cores)
+    results = iter(
+        sim_grid(
+            [
+                SimJob.mix(mix_name, policy, accesses, seed)
+                for mix_name in mixes
+                for policy in ("lru", "nucache")
+            ]
+        )
+    )
     rows = []
-    for mix_name in mix_names(num_cores):
+    for mix_name in mixes:
         members = mix_members(mix_name)
         alone = [alone_ipc(name, num_cores, accesses, seed) for name in members]
         row: dict = {"mix": mix_name}
         for policy in ("lru", "nucache"):
-            result = run_mix(mix_name, policy, accesses, seed)
+            result = next(results)
             row[f"{policy}:antt"] = round(
                 average_normalized_turnaround(result.ipcs, alone), 3
             )

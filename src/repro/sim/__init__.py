@@ -8,6 +8,7 @@ from repro.sim.runner import (
     DEFAULT_ACCESSES,
     alone_ipc,
     alone_ipcs_for_mix,
+    clear_alone_memo,
     make_traces,
     run_mix,
     run_single,
@@ -24,6 +25,7 @@ __all__ = [
     "SimResult",
     "alone_ipc",
     "alone_ipcs_for_mix",
+    "clear_alone_memo",
     "make_llc",
     "make_traces",
     "policy_names",

@@ -43,6 +43,35 @@ class CoreResult:
             return 0.0
         return 1.0 - self.llc_misses / self.llc_accesses
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable representation (exact round-trip)."""
+        return {
+            "core_id": self.core_id,
+            "workload": self.workload,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "ipc": self.ipc,
+            "mpki": self.mpki,
+            "llc_accesses": self.llc_accesses,
+            "llc_misses": self.llc_misses,
+            "level_counts": dict(self.level_counts),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "CoreResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        return cls(
+            core_id=int(payload["core_id"]),
+            workload=str(payload["workload"]),
+            instructions=int(payload["instructions"]),
+            cycles=int(payload["cycles"]),
+            ipc=float(payload["ipc"]),
+            mpki=float(payload["mpki"]),
+            llc_accesses=int(payload["llc_accesses"]),
+            llc_misses=int(payload["llc_misses"]),
+            level_counts={str(k): int(v) for k, v in payload["level_counts"].items()},
+        )
+
 
 @dataclass
 class SimResult:
@@ -69,6 +98,35 @@ class SimResult:
     def total_llc_misses(self) -> int:
         """Total measured LLC misses across cores."""
         return sum(result.llc_misses for result in self.cores)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable representation (exact round-trip).
+
+        Occupancy keys become strings (JSON objects cannot have integer
+        keys); :meth:`from_dict` converts them back.
+        """
+        return {
+            "policy": self.policy,
+            "cores": [core.to_dict() for core in self.cores],
+            "llc_occupancy_by_core": {
+                str(core_id): count
+                for core_id, count in self.llc_occupancy_by_core.items()
+            },
+            "llc_extra": dict(self.llc_extra),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SimResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        return cls(
+            policy=str(payload["policy"]),
+            cores=[CoreResult.from_dict(core) for core in payload["cores"]],
+            llc_occupancy_by_core={
+                int(core_id): int(count)
+                for core_id, count in payload["llc_occupancy_by_core"].items()
+            },
+            llc_extra={str(k): float(v) for k, v in payload["llc_extra"].items()},
+        )
 
 
 class MulticoreEngine:

@@ -10,12 +10,13 @@ They encapsulate the conventions of the study:
 * trace lengths are expressed in accesses per core.
 
 Alone results are memoized per (benchmark, core-count, length, seed)
-because every mix of an experiment reuses them.
+because every mix of an experiment reuses them — in-process via a plain
+dict, across processes and invocations via the content-addressed result
+store (:mod:`repro.exec`).
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.common.config import SystemConfig, paper_system_config
@@ -143,7 +144,15 @@ def run_single(
     return engine.run()
 
 
-@lru_cache(maxsize=None)
+#: In-process memo of alone IPCs, backed by the persistent result store.
+_ALONE_MEMO: Dict[Tuple[str, int, int, int, str], float] = {}
+
+
+def clear_alone_memo() -> None:
+    """Drop the in-process alone-IPC memo (tests use this)."""
+    _ALONE_MEMO.clear()
+
+
 def alone_ipc(
     benchmark_name: str,
     num_cores_capacity: int,
@@ -151,11 +160,32 @@ def alone_ipc(
     seed: int = DEFAULT_SEED,
     policy: str = "lru",
 ) -> float:
-    """Memoized alone-run IPC (weighted-speedup denominator)."""
-    result = run_single(
-        benchmark_name, policy, accesses, seed, num_cores_capacity
-    )
-    return result.cores[0].ipc
+    """Memoized alone-run IPC (weighted-speedup denominator).
+
+    Misses are looked up in the content-addressed result store before
+    simulating, so alone baselines are shared across worker processes
+    and across invocations of the harness.
+    """
+    memo_key = (benchmark_name, num_cores_capacity, accesses, seed, policy)
+    cached = _ALONE_MEMO.get(memo_key)
+    if cached is not None:
+        return cached
+    # Imported lazily: repro.exec imports this module at load time.
+    from repro.exec import SimJob
+    from repro.exec.context import resolve_store
+
+    job = SimJob.alone(benchmark_name, num_cores_capacity, accesses, seed, policy)
+    store = resolve_store()
+    result = store.get(job) if store is not None else None
+    if result is None:
+        result = run_single(
+            benchmark_name, policy, accesses, seed, num_cores_capacity
+        )
+        if store is not None:
+            store.put(job, result)
+    ipc = result.cores[0].ipc
+    _ALONE_MEMO[memo_key] = ipc
+    return ipc
 
 
 def alone_ipcs_for_mix(

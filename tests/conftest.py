@@ -2,11 +2,36 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.common.config import CacheGeometry, tiny_system_config
 from repro.workloads.trace import Trace
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_result_store(tmp_path_factory):
+    """Point the persistent result store at a per-session tmpdir.
+
+    Keeps the suite from reading (or polluting) the developer's
+    ``~/.cache/nucache-repro`` while still exercising the cache-first
+    execution path; within the session identical simulations are served
+    from the store, which is exactly the production behavior.
+    """
+    from repro.exec import STORE_ENV_VAR
+    from repro.exec import context as exec_context
+
+    previous = os.environ.get(STORE_ENV_VAR)
+    os.environ[STORE_ENV_VAR] = str(tmp_path_factory.mktemp("result-store"))
+    exec_context.reset()
+    yield
+    if previous is None:
+        os.environ.pop(STORE_ENV_VAR, None)
+    else:
+        os.environ[STORE_ENV_VAR] = previous
+    exec_context.reset()
 
 
 @pytest.fixture

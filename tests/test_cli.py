@@ -34,6 +34,27 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sim", "--mix", "mix2_1", "--policy", "magic"])
 
+    def test_run_jobs_and_no_cache_flags(self):
+        args = build_parser().parse_args(["run", "fig5", "--jobs", "4", "--no-cache"])
+        assert args.jobs == 4
+        assert args.no_cache is True
+
+    def test_sim_seed_flag(self):
+        args = build_parser().parse_args(
+            ["sim", "--benchmark", "art_like", "--seed", "7"]
+        )
+        assert args.seed == 7
+
+    def test_cache_actions(self):
+        assert build_parser().parse_args(["cache", "stats"]).action == "stats"
+        args = build_parser().parse_args(
+            ["cache", "prune", "--keep", "10", "--max-age-days", "30"]
+        )
+        assert args.keep == 10
+        assert args.max_age_days == 30.0
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "defrag"])
+
 
 class TestExecution:
     def test_list_runs(self, capsys):
@@ -62,6 +83,40 @@ class TestExecution:
         ]) == 0
         out = capsys.readouterr().out
         assert "weighted speedup" in out
+
+    def test_sim_seed_changes_the_run(self, capsys):
+        base = ["sim", "--benchmark", "hmmer_like", "--policy", "lru",
+                "--accesses", "5000"]
+        assert main(base) == 0
+        default_out = capsys.readouterr().out
+        assert main(base + ["--seed", "12345"]) == 0
+        seeded_out = capsys.readouterr().out
+        assert seeded_out != default_out
+
+    def test_cache_stats_and_clear(self, capsys):
+        assert main(["cache", "stats"]) == 0
+        assert "entries" in capsys.readouterr().out
+        assert main(["cache", "clear"]) == 0
+        assert "removed" in capsys.readouterr().out
+
+    def test_cache_prune_requires_a_bound(self, capsys):
+        assert main(["cache", "prune"]) == 2
+
+    def test_run_reports_exec_summary(self, capsys):
+        import os
+
+        from repro.exec import context as exec_context
+
+        os.environ["REPRO_SCALE"] = "0.05"
+        try:
+            assert main(["run", "fig3", "--jobs", "2"]) == 0
+        finally:
+            del os.environ["REPRO_SCALE"]
+            exec_context.reset()
+        captured = capsys.readouterr()
+        assert "== fig3" in captured.out
+        assert "[exec] fig3:" in captured.err
+        assert "cached" in captured.err
 
 
 class TestNewSubcommands:

@@ -1,0 +1,385 @@
+"""Tests for the repro.exec subsystem: jobs, store, scheduler, context."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.common.errors import ExecError
+from repro.exec import (
+    ENGINE_VERSION,
+    ResultStore,
+    Scheduler,
+    SimJob,
+    execute_job,
+)
+from repro.exec import context as exec_context
+from repro.sim.engine import CoreResult, SimResult
+from repro.sim.runner import alone_ipc, clear_alone_memo, run_single
+from repro.workloads.mixes import mix_members
+
+ACCESSES = 4_000
+
+
+@pytest.fixture(autouse=True)
+def _fresh_exec_context():
+    """Each test starts from environment-default execution config."""
+    exec_context.reset()
+    yield
+    exec_context.reset()
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "store")
+
+
+# ----------------------------------------------------------------------
+# SimJob
+# ----------------------------------------------------------------------
+
+
+class TestSimJob:
+    def test_key_is_stable(self):
+        a = SimJob.single("hmmer_like", "lru", ACCESSES)
+        b = SimJob.single("hmmer_like", "lru", ACCESSES)
+        assert a == b
+        assert a.key() == b.key()
+
+    def test_every_field_changes_the_key(self):
+        base = SimJob.single("hmmer_like", "nucache", ACCESSES, seed=1)
+        variants = [
+            SimJob.single("art_like", "nucache", ACCESSES, seed=1),
+            SimJob.single("hmmer_like", "lru", ACCESSES, seed=1),
+            SimJob.single("hmmer_like", "nucache", ACCESSES + 1, seed=1),
+            SimJob.single("hmmer_like", "nucache", ACCESSES, seed=2),
+            SimJob.single("hmmer_like", "nucache", ACCESSES, seed=1,
+                          capacity_cores=2),
+            SimJob.single("hmmer_like", "nucache", ACCESSES, seed=1,
+                          warmup_fraction=0.5),
+            SimJob.single("hmmer_like", "nucache", ACCESSES, seed=1,
+                          prefetcher="stride"),
+            SimJob.single("hmmer_like", "nucache", ACCESSES, seed=1,
+                          deli_ways=4),
+            SimJob.workload(("hmmer_like",), "nucache", ACCESSES, seed=1),
+        ]
+        keys = {job.key() for job in variants}
+        assert base.key() not in keys
+        assert len(keys) == len(variants)
+
+    def test_override_order_is_irrelevant(self):
+        a = SimJob(members=("x",), policy="lru", accesses=10, seed=0,
+                   overrides=(("b", 2), ("a", 1)))
+        b = SimJob(members=("x",), policy="lru", accesses=10, seed=0,
+                   overrides=(("a", 1), ("b", 2)))
+        assert a.key() == b.key()
+
+    def test_mix_constructor_resolves_members(self):
+        job = SimJob.mix("mix2_1", "lru", ACCESSES)
+        assert job.members == tuple(mix_members("mix2_1"))
+        assert job.kind == "workload"
+
+    def test_round_trip(self):
+        job = SimJob.single("hmmer_like", "nucache", ACCESSES, seed=7,
+                            capacity_cores=4, deli_ways=6)
+        clone = SimJob.from_dict(json.loads(json.dumps(job.to_dict())))
+        assert clone == job
+        assert clone.key() == job.key()
+
+    def test_validation(self):
+        with pytest.raises(ExecError):
+            SimJob(members=(), policy="lru", accesses=10, seed=0)
+        with pytest.raises(ExecError):
+            SimJob(members=("a", "b"), policy="lru", accesses=10, seed=0,
+                   kind="single")
+        with pytest.raises(ExecError):
+            SimJob(members=("a",), policy="lru", accesses=0, seed=0)
+        with pytest.raises(ExecError):
+            SimJob(members=("a",), policy="lru", accesses=10, seed=0,
+                   kind="warp")
+        with pytest.raises(ExecError):
+            SimJob.single("a", "lru", 10, deli_ways=[1, 2])
+
+    def test_execute_matches_runner(self):
+        job = SimJob.single("hmmer_like", "lru", ACCESSES)
+        assert execute_job(job).to_dict() == run_single(
+            "hmmer_like", "lru", ACCESSES
+        ).to_dict()
+
+
+# ----------------------------------------------------------------------
+# SimResult serialization (satellite: exact round-trip incl. llc_extra)
+# ----------------------------------------------------------------------
+
+
+class TestSimResultSerialization:
+    def test_exact_round_trip_including_llc_extra(self):
+        result = run_single("art_like", "nucache", ACCESSES)
+        assert result.llc_extra, "nucache runs must report llc_extra"
+        clone = SimResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert clone == result
+        assert clone.llc_extra == result.llc_extra
+        assert clone.llc_occupancy_by_core == result.llc_occupancy_by_core
+        for original, copy in zip(result.cores, clone.cores):
+            assert copy == original
+            assert copy.ipc == original.ipc  # exact, not approximate
+
+    def test_core_result_round_trip(self):
+        core = CoreResult(
+            core_id=3, workload="w", instructions=10, cycles=25, ipc=0.4,
+            mpki=1.25, llc_accesses=7, llc_misses=2,
+            level_counts={"l1": 5, "llc": 2},
+        )
+        assert CoreResult.from_dict(json.loads(json.dumps(core.to_dict()))) == core
+
+
+# ----------------------------------------------------------------------
+# ResultStore
+# ----------------------------------------------------------------------
+
+
+class TestResultStore:
+    def test_miss_then_hit(self, store):
+        job = SimJob.single("hmmer_like", "lru", ACCESSES)
+        assert store.get(job) is None
+        assert job not in store
+        result = execute_job(job)
+        store.put(job, result)
+        assert job in store
+        assert store.get(job) == result
+
+    def test_versioned_layout(self, store, tmp_path):
+        job = SimJob.single("hmmer_like", "lru", ACCESSES)
+        path = store.put(job, execute_job(job))
+        assert path.parent.parent == tmp_path / "store" / f"v{ENGINE_VERSION}"
+        assert path.name == f"{job.key()}.json"
+
+    def test_corrupted_entry_is_a_miss_and_removed(self, store):
+        job = SimJob.single("hmmer_like", "lru", ACCESSES)
+        path = store.put(job, execute_job(job))
+        path.write_text("{ not json", encoding="utf-8")
+        assert store.get(job) is None
+        assert not path.exists()
+
+    def test_entry_missing_fields_is_a_miss(self, store):
+        job = SimJob.single("hmmer_like", "lru", ACCESSES)
+        path = store.put(job, execute_job(job))
+        path.write_text(json.dumps({"job": job.to_dict()}), encoding="utf-8")
+        assert store.get(job) is None
+
+    def test_stats_clear(self, store):
+        jobs = [
+            SimJob.single("hmmer_like", "lru", ACCESSES),
+            SimJob.single("hmmer_like", "lru", ACCESSES, seed=3),
+        ]
+        for job in jobs:
+            store.put(job, execute_job(job))
+        stats = store.stats()
+        assert stats.entries == 2
+        assert stats.total_bytes > 0
+        assert store.clear() == 2
+        assert store.stats().entries == 0
+
+    def test_prune_keep(self, store):
+        result = execute_job(SimJob.single("hmmer_like", "lru", ACCESSES))
+        jobs = [
+            SimJob.single("hmmer_like", "lru", ACCESSES, seed=seed)
+            for seed in range(5)
+        ]
+        for job in jobs:
+            store.put(job, result)
+        assert store.prune(keep=2) == 3
+        assert store.stats().entries == 2
+
+    def test_prune_age(self, store):
+        import os
+        import time
+
+        job = SimJob.single("hmmer_like", "lru", ACCESSES)
+        path = store.put(job, execute_job(job))
+        old = time.time() - 10 * 86400
+        os.utime(path, (old, old))
+        assert store.prune(max_age_days=5) == 1
+        assert store.stats().entries == 0
+
+
+# ----------------------------------------------------------------------
+# Scheduler
+# ----------------------------------------------------------------------
+
+
+def _grid():
+    return [
+        SimJob.single(name, policy, ACCESSES)
+        for name in ("hmmer_like", "art_like")
+        for policy in ("lru", "nucache")
+    ]
+
+
+class TestScheduler:
+    def test_parallel_matches_serial_exactly(self):
+        serial = Scheduler(jobs=1).run(_grid())
+        parallel = Scheduler(jobs=4).run(_grid())
+        assert [r.to_dict() for r in parallel] == [r.to_dict() for r in serial]
+
+    def test_cache_hit_on_second_run(self, store):
+        first = Scheduler(jobs=1, store=store)
+        results = first.run(_grid())
+        assert first.last_report.completed == 4
+        assert first.last_report.cached == 0
+
+        second = Scheduler(jobs=1, store=store)
+        again = second.run(_grid())
+        assert second.last_report.cached == 4
+        assert second.last_report.completed == 0
+        assert second.last_report.cache_fraction == 1.0
+        assert [r.to_dict() for r in again] == [r.to_dict() for r in results]
+
+    def test_any_field_change_invalidates(self, store):
+        Scheduler(jobs=1, store=store).run(_grid())
+        changed = Scheduler(jobs=1, store=store)
+        changed.run([SimJob.single("hmmer_like", "lru", ACCESSES, seed=99)])
+        assert changed.last_report.cached == 0
+        assert changed.last_report.completed == 1
+
+    def test_corrupted_store_entry_recovers_by_recompute(self, store):
+        job = SimJob.single("hmmer_like", "lru", ACCESSES)
+        fresh = Scheduler(jobs=1, store=store)
+        (expected,) = fresh.run([job])
+        store._path(job.key()).write_text("garbage", encoding="utf-8")
+        recovered = Scheduler(jobs=1, store=store)
+        (result,) = recovered.run([job])  # must not crash
+        assert recovered.last_report.completed == 1
+        assert result.to_dict() == expected.to_dict()
+        assert store.get(job) is not None  # re-persisted
+
+    def test_duplicates_simulated_once(self, store):
+        calls = []
+
+        def counting_execute(job):
+            calls.append(job.key())
+            return execute_job(job)
+
+        job = SimJob.single("hmmer_like", "lru", ACCESSES)
+        scheduler = Scheduler(jobs=1, store=store, execute=counting_execute)
+        results = scheduler.run([job, job, job])
+        assert len(calls) == 1
+        assert scheduler.last_report.completed == 3  # occurrence-weighted
+        assert results[0] is results[1] is results[2]
+
+    def test_progress_hook_reports_counts(self, store):
+        events = []
+        scheduler = Scheduler(jobs=1, store=store, progress=events.append)
+        scheduler.run(_grid())
+        kinds = [event["event"] for event in events]
+        assert kinds.count("completed") == 4
+        assert kinds[-1] == "batch"
+        report = events[-1]["report"]
+        assert report.completed == 4
+        assert report.failed == 0
+        assert report.wall_time > 0
+        done_values = [e["done"] for e in events if e["event"] == "completed"]
+        assert done_values == [1, 2, 3, 4]
+
+    def test_failure_raises_in_strict_mode(self):
+        bad = SimJob.single("no_such_benchmark", "lru", ACCESSES)
+        with pytest.raises(ExecError, match="no_such_benchmark"):
+            Scheduler(jobs=1, retries=0).run([bad])
+
+    def test_failure_reported_when_not_strict(self):
+        bad = SimJob.single("no_such_benchmark", "lru", ACCESSES)
+        good = SimJob.single("hmmer_like", "lru", ACCESSES)
+        scheduler = Scheduler(jobs=1, retries=0, strict=False)
+        results = scheduler.run([bad, good])
+        assert results[0] is None
+        assert results[1] is not None
+        assert scheduler.last_report.failed == 1
+        assert scheduler.last_report.completed == 1
+
+    def test_retry_recovers_flaky_job(self):
+        attempts = []
+
+        def flaky_execute(job):
+            attempts.append(job.key())
+            if len(attempts) == 1:
+                raise RuntimeError("transient worker death")
+            return execute_job(job)
+
+        job = SimJob.single("hmmer_like", "lru", ACCESSES)
+        scheduler = Scheduler(jobs=1, retries=1, execute=flaky_execute)
+        (result,) = scheduler.run([job])
+        assert len(attempts) == 2
+        assert result.to_dict() == execute_job(job).to_dict()
+        assert scheduler.last_report.retried == 1
+        assert scheduler.last_report.completed == 1
+
+    def test_retries_exhausted_fails(self):
+        def always_broken(job):
+            raise RuntimeError("still dead")
+
+        scheduler = Scheduler(jobs=1, retries=2, strict=False,
+                              execute=always_broken)
+        (result,) = scheduler.run([SimJob.single("hmmer_like", "lru", ACCESSES)])
+        assert result is None
+        assert scheduler.last_report.retried == 2
+        assert scheduler.last_report.failed == 1
+
+
+# ----------------------------------------------------------------------
+# Context defaults and store-backed alone_ipc
+# ----------------------------------------------------------------------
+
+
+class TestContext:
+    def test_configure_and_reset(self):
+        config = exec_context.configure(jobs=3, use_cache=False)
+        assert config.jobs == 3
+        assert exec_context.resolve_store() is None
+        exec_context.reset()
+        assert exec_context.current().jobs == 1
+        assert exec_context.resolve_store() is not None
+
+    def test_jobs_env_default(self, monkeypatch):
+        monkeypatch.setenv(exec_context.JOBS_ENV_VAR, "5")
+        exec_context.reset()
+        assert exec_context.current().jobs == 5
+
+    def test_bad_jobs_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(exec_context.JOBS_ENV_VAR, "zero")
+        exec_context.reset()
+        with pytest.raises(ExecError):
+            exec_context.current()
+
+    def test_run_jobs_accumulates_totals(self):
+        exec_context.reset_totals()
+        exec_context.run_jobs([SimJob.single("hmmer_like", "lru", ACCESSES)])
+        totals = exec_context.totals()
+        assert totals.total == 1
+        assert totals.completed + totals.cached == 1
+
+    def test_alone_ipc_served_from_store_across_memo_clears(self):
+        first = alone_ipc("twolf_like", 2, ACCESSES)
+        clear_alone_memo()
+        store = exec_context.resolve_store()
+        job = SimJob.alone("twolf_like", 2, ACCESSES)
+        assert store.get(job) is not None
+        second = alone_ipc("twolf_like", 2, ACCESSES)
+        assert second == first
+
+
+# ----------------------------------------------------------------------
+# End-to-end: the experiment harness through the scheduler
+# ----------------------------------------------------------------------
+
+
+class TestHarnessEquivalence:
+    def test_mix_speedups_identical_serial_vs_parallel(self):
+        from repro.experiments.harness import mix_weighted_speedups
+
+        exec_context.configure(jobs=1, use_cache=False)
+        serial = mix_weighted_speedups("mix2_1", ("lru", "nucache"), ACCESSES)
+        clear_alone_memo()
+        exec_context.configure(jobs=4, use_cache=False)
+        parallel = mix_weighted_speedups("mix2_1", ("lru", "nucache"), ACCESSES)
+        assert parallel == serial
