@@ -6,11 +6,21 @@ Subcommands::
     nucache-repro run fig5 [fig6 ...]  # run experiments, print tables
     nucache-repro run all --jobs 4     # every experiment, 4 workers
     nucache-repro run fig5 --no-cache  # bypass the result store
+    nucache-repro run --resume <id>    # finish an interrupted run
+    nucache-repro runs list            # past runs (from their journals)
+    nucache-repro runs show <id>       # one run's journal, readable
     nucache-repro sim --mix mix4_1 --policy nucache   # one simulation
     nucache-repro cache stats                         # result-store report
     nucache-repro cache prune --keep 1000             # trim the store
     nucache-repro characterize art_like               # reuse-distance report
     nucache-repro trace art_like -o art.trace         # export a trace
+
+Every ``run`` writes an append-only journal (one JSONL manifest under
+``<cache dir>/runs/``).  A run interrupted by SIGINT/SIGTERM drains
+gracefully, flushes the journal, and prints a ``--resume`` hint; the
+resumed run skips completed experiments and is served settled jobs from
+the result store, so its output is byte-identical to an uninterrupted
+run.
 
 Trace lengths can be scaled globally with the ``REPRO_SCALE``
 environment variable (e.g. ``REPRO_SCALE=0.5`` for half-length traces).
@@ -23,12 +33,15 @@ stdout stay byte-stable.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
+from repro.common.errors import ExecError, RunInterrupted
 from repro.common.rng import DEFAULT_SEED
-from repro.exec import ResultStore
+from repro.exec import ResultStore, RunJournal
 from repro.exec import context as exec_context
+from repro.exec import journal as run_journal
 from repro.experiments import experiment_ids, run_experiment
 from repro.metrics.multicore import weighted_speedup
 from repro.sim.policies import policy_names
@@ -52,27 +65,140 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_run_request(args: argparse.Namespace) -> tuple:
+    """Experiments to run plus the journal's resumed-from id (or None)."""
+    if args.resume:
+        if args.experiments:
+            raise ExecError("pass experiment ids or --resume, not both")
+        summary = run_journal.find_run(args.resume)
+        pending = summary.pending
+        for experiment_id in summary.completed:
+            print(
+                f"[resume] skipping {experiment_id} (completed in {summary.run_id})",
+                file=sys.stderr,
+            )
+        return pending, summary.run_id
+    requested = args.experiments
+    if not requested:
+        raise ExecError("run needs experiment ids (or --resume <run-id>)")
+    if requested == ["all"]:
+        requested = experiment_ids()
+    return requested, None
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    import hashlib
+    import time as time_mod
+
     exec_context.configure(
         jobs=args.jobs,
         use_cache=False if args.no_cache else None,
     )
-    requested = args.experiments
-    if requested == ["all"]:
-        requested = experiment_ids()
-    for experiment_id in requested:
-        exec_context.reset_totals()
-        result = run_experiment(experiment_id)
-        if args.bars:
-            from repro.experiments.plots import render_with_bars
+    try:
+        requested, resumed_from = _resolve_run_request(args)
+    except ExecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if resumed_from is not None and not requested:
+        print(f"[resume] {resumed_from}: nothing left to run", file=sys.stderr)
+        return 0
 
-            print(render_with_bars(result))
-        else:
-            print(result.to_text())
-        print()
-        report = exec_context.totals()
-        if report.total:
-            print(f"[exec] {experiment_id}: {report.describe()}", file=sys.stderr)
+    config = exec_context.current()
+    journal = RunJournal.create(
+        experiments=requested,
+        jobs=config.jobs,
+        use_cache=config.use_cache,
+        resumed_from=resumed_from,
+    )
+    exec_context.set_journal(journal)
+    print(f"[run] id={journal.run_id} journal={journal.path}", file=sys.stderr)
+    try:
+        for experiment_id in requested:
+            exec_context.reset_totals()
+            journal.record_experiment_start(experiment_id)
+            started = time_mod.monotonic()
+            try:
+                result = run_experiment(experiment_id)
+            except (RunInterrupted, KeyboardInterrupt):
+                journal.record_experiment_end(experiment_id, status="interrupted")
+                journal.close("interrupted")
+                print(
+                    f"[run] interrupted during {experiment_id} — resume with: "
+                    f"nucache-repro run --resume {journal.run_id}",
+                    file=sys.stderr,
+                )
+                return 130
+            except Exception as exc:
+                journal.record_experiment_end(experiment_id, status="failed")
+                journal.close("failed", error=repr(exc))
+                raise
+            if args.bars:
+                from repro.experiments.plots import render_with_bars
+
+                text = render_with_bars(result)
+            else:
+                text = result.to_text()
+            print(text)
+            print()
+            journal.record_experiment_end(
+                experiment_id,
+                status="ok",
+                output_sha256=hashlib.sha256(text.encode("utf-8")).hexdigest(),
+                elapsed=time_mod.monotonic() - started,
+            )
+            report = exec_context.totals()
+            if report.total:
+                print(f"[exec] {experiment_id}: {report.describe()}", file=sys.stderr)
+    finally:
+        exec_context.set_journal(None)
+    journal.close("completed")
+    return 0
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    if args.action == "list":
+        summaries = run_journal.list_runs()
+        if not summaries:
+            print("no recorded runs")
+            return 0
+        for summary in summaries:
+            print(summary.describe())
+        return 0
+    # show
+    if not args.run_id:
+        print("error: 'runs show' needs a run id (see 'runs list')", file=sys.stderr)
+        return 2
+    try:
+        summary = run_journal.find_run(args.run_id)
+    except ExecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(summary.describe())
+    for record in run_journal.read_records(summary.path):
+        kind = record.get("record")
+        if kind == "start":
+            print(f"  start: experiments={record.get('experiments')} "
+                  f"jobs={record.get('jobs')} use_cache={record.get('use_cache')}"
+                  + (f" resumed_from={record['resumed_from']}"
+                     if record.get("resumed_from") else ""))
+        elif kind == "experiment_start":
+            print(f"  {record.get('experiment')}: started")
+        elif kind == "batch":
+            report = record.get("report") or {}
+            print(f"    batch [{record.get('label')}] {record.get('status')}: "
+                  f"{report.get('completed', 0)} computed, "
+                  f"{report.get('cached', 0)} cached, "
+                  f"{report.get('failed', 0)} failed of {report.get('total', 0)}")
+        elif kind == "experiment_end":
+            line = f"  {record.get('experiment')}: {record.get('status')}"
+            if record.get("elapsed") is not None:
+                line += f" in {record['elapsed']:.2f}s"
+            print(line)
+        elif kind == "end":
+            line = f"  end: {record.get('status')}"
+            if record.get("error"):
+                line += f" ({record['error']})"
+            print(line)
     return 0
 
 
@@ -163,8 +289,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = subparsers.add_parser("run", help="run experiments")
     run_parser.add_argument(
-        "experiments", nargs="+",
+        "experiments", nargs="*",
         help="experiment ids (see 'list'), or 'all'",
+    )
+    run_parser.add_argument(
+        "--resume", default=None, metavar="RUN_ID",
+        help="resume an interrupted run by its journal id (see 'runs list'); "
+        "completed experiments are skipped, settled jobs come from the store",
     )
     run_parser.add_argument(
         "--bars", action="store_true",
@@ -179,6 +310,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="bypass the persistent result store (always recompute)",
     )
     run_parser.set_defaults(func=_cmd_run)
+
+    runs_parser = subparsers.add_parser(
+        "runs", help="inspect past runs via their journals"
+    )
+    runs_parser.add_argument(
+        "action", choices=("list", "show"),
+        help="list: all recorded runs, newest first; show: one run's records",
+    )
+    runs_parser.add_argument(
+        "run_id", nargs="?", default=None,
+        help="run id (or unambiguous prefix) for 'show'",
+    )
+    runs_parser.set_defaults(func=_cmd_runs)
 
     sim_parser = subparsers.add_parser("sim", help="run one simulation")
     group = sim_parser.add_mutually_exclusive_group(required=True)
@@ -234,7 +378,15 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pipe closed early (e.g. `nucache-repro runs list |
+        # head`): point stdout at devnull so the interpreter's exit-time
+        # flush does not raise a second time, and exit like SIGPIPE.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":

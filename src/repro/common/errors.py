@@ -48,3 +48,26 @@ class ExecError(ReproError):
     Raised by the :mod:`repro.exec` layer when a job spec is malformed or
     when jobs of a batch still fail after the scheduler's retries.
     """
+
+
+class ValidationError(ExecError):
+    """A simulation result violates an engine invariant.
+
+    Raised (or collected as violation strings) by
+    :mod:`repro.exec.validate` when a freshly computed or cached result
+    fails its integrity checks — such a result must never be served.
+    """
+
+
+class RunInterrupted(ExecError):
+    """A batch was interrupted (SIGINT/SIGTERM) before resolving fully.
+
+    Carries the partial :class:`~repro.exec.scheduler.BatchReport` and
+    per-job outcomes so callers (the CLI run loop) can journal what
+    settled and print a resume hint instead of a stack trace.
+    """
+
+    def __init__(self, message: str, report=None, outcomes=None) -> None:
+        super().__init__(message)
+        self.report = report
+        self.outcomes = outcomes or {}

@@ -7,10 +7,17 @@ treatment:
 * :class:`~repro.exec.job.SimJob` — a frozen, hashable spec of one
   simulation with a stable content hash (:meth:`~repro.exec.job.SimJob.key`).
 * :class:`~repro.exec.store.ResultStore` — persists results by content
-  hash on disk, so repeated runs are incremental across invocations.
+  hash on disk, so repeated runs are incremental across invocations;
+  every read is invariant-checked and bad entries are quarantined.
 * :class:`~repro.exec.scheduler.Scheduler` — dedups a batch, serves
-  cache hits, fans misses across a process pool with retry and a
-  progress hook.
+  cache hits, fans misses across a process pool with retry, backoff, a
+  progress hook, and graceful SIGINT/SIGTERM draining.
+* :mod:`~repro.exec.journal` — an append-only JSONL manifest per run,
+  enabling ``run --resume`` and ``runs list/show``.
+* :mod:`~repro.exec.validate` — the engine invariants every result must
+  satisfy before it is served or persisted.
+* :mod:`~repro.exec.faults` — deterministic fault injection (crashes,
+  hangs, flakes, store corruption) for chaos testing.
 * :mod:`~repro.exec.context` — process-wide defaults
   (``run --jobs N --no-cache``, ``REPRO_JOBS``) and :func:`run_jobs`,
   the entry point the experiment drivers use.
@@ -18,8 +25,10 @@ treatment:
 See ``docs/execution.md`` for the full model.
 """
 
+from repro.common.errors import RunInterrupted, ValidationError
 from repro.exec.context import (
     ExecConfig,
+    active_journal,
     configure,
     current,
     get_scheduler,
@@ -27,28 +36,53 @@ from repro.exec.context import (
     reset_totals,
     resolve_store,
     run_jobs,
+    set_journal,
     totals,
 )
+from repro.exec.faults import (
+    FAULTS_ENV_VAR,
+    FaultPlan,
+    FaultyExecute,
+    FaultyStore,
+    InjectedFault,
+)
 from repro.exec.job import ENGINE_VERSION, SimJob, execute_job
+from repro.exec.journal import RunJournal, RunSummary, find_run, list_runs
 from repro.exec.scheduler import BatchReport, Scheduler
 from repro.exec.store import STORE_ENV_VAR, ResultStore, StoreStats
+from repro.exec.validate import check_result, validate_result
 
 __all__ = [
     "BatchReport",
     "ENGINE_VERSION",
     "ExecConfig",
+    "FAULTS_ENV_VAR",
+    "FaultPlan",
+    "FaultyExecute",
+    "FaultyStore",
+    "InjectedFault",
     "ResultStore",
+    "RunInterrupted",
+    "RunJournal",
+    "RunSummary",
     "STORE_ENV_VAR",
     "Scheduler",
     "SimJob",
     "StoreStats",
+    "ValidationError",
+    "active_journal",
+    "check_result",
     "configure",
     "current",
     "execute_job",
+    "find_run",
     "get_scheduler",
+    "list_runs",
     "reset",
     "reset_totals",
     "resolve_store",
     "run_jobs",
+    "set_journal",
     "totals",
+    "validate_result",
 ]

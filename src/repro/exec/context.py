@@ -24,8 +24,10 @@ import os
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from repro.common.errors import ExecError
-from repro.exec.job import SimJob
+from repro.common.errors import ExecError, RunInterrupted
+from repro.exec.faults import FaultPlan, FaultyExecute, FaultyStore
+from repro.exec.job import SimJob, execute_job
+from repro.exec.journal import RunJournal
 from repro.exec.scheduler import BatchReport, ProgressHook, Scheduler
 from repro.exec.store import ResultStore
 from repro.sim.engine import SimResult
@@ -60,6 +62,7 @@ class ExecConfig:
 
 _config: Optional[ExecConfig] = None
 _totals = BatchReport()
+_journal: Optional[RunJournal] = None
 
 
 def current() -> ExecConfig:
@@ -96,9 +99,25 @@ def configure(
 
 def reset() -> None:
     """Drop overrides; the next use re-reads the environment."""
-    global _config
+    global _config, _journal
     _config = None
+    _journal = None
     reset_totals()
+
+
+def set_journal(journal: Optional[RunJournal]) -> None:
+    """Attach (or detach, with ``None``) the active run journal.
+
+    While attached, every batch resolved by :func:`run_jobs` appends a
+    ``batch`` record — job keys, outcomes, report — to the journal.
+    """
+    global _journal
+    _journal = journal
+
+
+def active_journal() -> Optional[RunJournal]:
+    """The run journal currently receiving batch records, if any."""
+    return _journal
 
 
 def resolve_store() -> Optional[ResultStore]:
@@ -113,28 +132,59 @@ def resolve_store() -> Optional[ResultStore]:
 
 
 def get_scheduler(progress: Optional[ProgressHook] = None) -> Scheduler:
-    """A scheduler honouring the current process-wide config."""
+    """A scheduler honouring the current process-wide config.
+
+    When ``REPRO_FAULTS`` is set (see :mod:`repro.exec.faults`), the job
+    runner and store are wrapped with deterministic fault injectors —
+    the chaos-testing entry point for full CLI runs.
+    """
     config = current()
+    store = resolve_store()
+    execute = execute_job
+    plan = FaultPlan.from_env()
+    if plan is not None:
+        execute = FaultyExecute(plan)
+        if store is not None:
+            store = FaultyStore(store, plan)
     return Scheduler(
         jobs=config.jobs,
-        store=resolve_store(),
+        store=store,
         timeout=config.timeout,
         retries=config.retries,
         progress=progress if progress is not None else config.progress,
+        execute=execute,
     )
 
 
-def run_jobs(batch: Sequence[SimJob]) -> List[SimResult]:
+def run_jobs(
+    batch: Sequence[SimJob], label: Optional[str] = None
+) -> List[SimResult]:
     """Resolve a batch of jobs under the process-wide defaults.
 
     This is the call every experiment grid funnels through: cache-first,
     parallel on miss, results in submission order.  Batch outcomes are
-    folded into the run-wide totals for CLI reporting.
+    folded into the run-wide totals for CLI reporting and, when a run
+    journal is attached, appended to the manifest (including the partial
+    outcomes of an interrupted batch, which is what makes ``--resume``
+    work).
     """
     scheduler = get_scheduler()
-    results = scheduler.run(batch)
+    try:
+        results = scheduler.run(batch)
+    except RunInterrupted as exc:
+        if exc.report is not None:
+            _totals.merge(exc.report)
+        if _journal is not None:
+            _journal.record_batch(
+                exc.outcomes, exc.report, label=label, status="interrupted"
+            )
+        raise
     if scheduler.last_report is not None:
         _totals.merge(scheduler.last_report)
+    if _journal is not None:
+        _journal.record_batch(
+            scheduler.last_outcomes, scheduler.last_report, label=label
+        )
     return results
 
 

@@ -1,0 +1,231 @@
+"""Deterministic fault injection for the execution layer.
+
+Chaos testing the scheduler needs failures that are *repeatable*: the
+same plan, seed, and job batch must produce the same crashes in the same
+places, so a chaos run can be diffed against a clean run byte for byte.
+This module provides that as two wrappers:
+
+* :class:`FaultyExecute` wraps :func:`~repro.exec.job.execute_job` and
+  injects, per job, a worker **crash** (``SIGKILL`` of the worker
+  process), a **hang** (a sleep long enough to trip the scheduler's
+  per-job timeout), or a **flake** (a transient raised exception).
+* :class:`FaultyStore` wraps a :class:`~repro.exec.store.ResultStore`
+  and **corrupts** freshly written entries (truncated bytes or a
+  plausible-but-invalid payload), exercising the read-validate-quarantine
+  path.
+
+Whether a given job is faulted is a pure function of the plan's seed and
+the job's content key (via :mod:`repro.common.rng`), so fault placement
+is stable across runs and worker counts.  Each (kind, key) fault fires
+**once**, recorded by a marker file in a scratch directory — the retry
+that follows runs clean, which is what makes end results byte-identical
+to an undisturbed run.
+
+Activation is programmatic (pass the wrappers to a scheduler) or via the
+environment, honoured by :func:`repro.exec.context.get_scheduler`::
+
+    REPRO_FAULTS="flake=0.5,crash=0.25,corrupt=0.3" REPRO_FAULTS_SEED=7 \
+        nucache-repro run fig5 --jobs 2
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.common.errors import ExecError
+from repro.common.rng import make_rng
+from repro.exec.job import SimJob, execute_job
+from repro.exec.store import ResultStore, default_store_dir
+
+#: Environment variable holding the fault spec (``kind=rate,...``).
+FAULTS_ENV_VAR = "REPRO_FAULTS"
+#: Environment variable overriding the fault-placement seed (default 0).
+FAULTS_SEED_ENV_VAR = "REPRO_FAULTS_SEED"
+
+#: Injectable fault kinds.
+FAULT_KINDS = ("flake", "crash", "hang", "corrupt")
+
+
+class InjectedFault(RuntimeError):
+    """A deliberately injected failure (so chaos tests can tell it apart)."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Per-kind fault rates plus the seed and once-marker scratch dir.
+
+    Rates are probabilities in ``[0, 1]`` evaluated per unique job key;
+    ``seed`` positions the faults, ``scratch`` is where fire-once marker
+    files live (defaults to ``<store base>/fault-markers``).
+    """
+
+    flake: float = 0.0
+    crash: float = 0.0
+    hang: float = 0.0
+    corrupt: float = 0.0
+    seed: int = 0
+    hang_seconds: float = 30.0
+    scratch: str = ""
+
+    def __post_init__(self) -> None:
+        for kind in FAULT_KINDS:
+            rate = getattr(self, kind)
+            if not 0.0 <= rate <= 1.0:
+                raise ExecError(f"fault rate {kind}={rate} outside [0, 1]")
+
+    def active(self) -> bool:
+        """Whether any fault kind has a non-zero rate."""
+        return any(getattr(self, kind) > 0.0 for kind in FAULT_KINDS)
+
+    def _scratch_dir(self) -> Path:
+        if self.scratch:
+            return Path(self.scratch)
+        return default_store_dir() / "fault-markers"
+
+    def selected(self, kind: str, key: str) -> bool:
+        """Deterministic draw: is this (kind, job-key) pair faulted at all?"""
+        rate = getattr(self, kind)
+        if rate <= 0.0:
+            return False
+        return make_rng(self.seed, f"fault:{kind}:{key}").random() < rate
+
+    def fire(self, kind: str, key: str) -> bool:
+        """True exactly once per selected (kind, key) pair.
+
+        The first call for a selected pair atomically creates a marker
+        file and returns True; every later call (the retry, another
+        worker, a resumed run) sees the marker and returns False.
+        """
+        if not self.selected(kind, key):
+            return False
+        scratch = self._scratch_dir()
+        scratch.mkdir(parents=True, exist_ok=True)
+        marker = scratch / f"{kind}-{key}"
+        try:
+            marker.touch(exist_ok=False)
+        except FileExistsError:
+            return False
+        return True
+
+    @classmethod
+    def parse(
+        cls,
+        spec: str,
+        seed: int = 0,
+        scratch: str = "",
+        hang_seconds: float = 30.0,
+    ) -> "FaultPlan":
+        """Build a plan from a ``kind=rate,kind=rate`` spec string.
+
+        A bare ``kind`` (no ``=rate``) means rate 1.0.
+        """
+        rates: Dict[str, float] = {}
+        for chunk in spec.split(","):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            name, _, raw = chunk.partition("=")
+            name = name.strip()
+            if name not in FAULT_KINDS:
+                raise ExecError(
+                    f"unknown fault kind {name!r}; expected one of {FAULT_KINDS}"
+                )
+            try:
+                rates[name] = float(raw) if raw else 1.0
+            except ValueError:
+                raise ExecError(f"bad fault rate in {chunk!r}") from None
+        return cls(seed=seed, scratch=scratch, hang_seconds=hang_seconds, **rates)
+
+    @classmethod
+    def from_env(cls) -> Optional["FaultPlan"]:
+        """The plan configured via ``REPRO_FAULTS``, or ``None``."""
+        spec = os.environ.get(FAULTS_ENV_VAR)
+        if not spec:
+            return None
+        raw_seed = os.environ.get(FAULTS_SEED_ENV_VAR, "0")
+        try:
+            seed = int(raw_seed)
+        except ValueError:
+            raise ExecError(
+                f"{FAULTS_SEED_ENV_VAR} must be an integer, got {raw_seed!r}"
+            ) from None
+        plan = cls.parse(spec, seed=seed)
+        return plan if plan.active() else None
+
+    def with_scratch(self, scratch: Path) -> "FaultPlan":
+        """Copy of the plan with the marker directory pinned."""
+        return replace(self, scratch=str(scratch))
+
+
+class FaultyExecute:
+    """Picklable ``execute_job`` wrapper that injects plan faults.
+
+    Safe under a ``ProcessPoolExecutor``: the crash fault kills the
+    *worker* process with ``SIGKILL`` (surfacing as ``BrokenProcessPool``
+    in the parent).  When running inline in the main process it degrades
+    to raising :class:`InjectedFault` — killing the interpreter under
+    test would take the suite with it.
+    """
+
+    def __init__(self, plan: FaultPlan, execute=execute_job) -> None:
+        self.plan = plan
+        self.execute = execute
+
+    def __call__(self, job: SimJob):
+        key = job.key()
+        if self.plan.fire("hang", key):
+            time.sleep(self.plan.hang_seconds)
+        if self.plan.fire("crash", key):
+            if multiprocessing.parent_process() is not None:
+                os.kill(os.getpid(), signal.SIGKILL)
+            raise InjectedFault(f"injected crash (inline) for job {key[:12]}")
+        if self.plan.fire("flake", key):
+            raise InjectedFault(f"injected transient failure for job {key[:12]}")
+        return self.execute(job)
+
+
+class FaultyStore:
+    """ResultStore proxy that corrupts entries as they are written.
+
+    Every method delegates to the wrapped store; ``put`` additionally
+    damages the freshly written file for jobs the plan selects — either
+    truncating it mid-JSON or rewriting it as well-formed JSON whose
+    counters violate the engine invariants.  Both variants must be caught
+    by the store's read-side validation and end up in quarantine, never
+    served as a hit.
+    """
+
+    def __init__(self, store: ResultStore, plan: FaultPlan) -> None:
+        self._store = store
+        self._plan = plan
+
+    def __getattr__(self, name):
+        return getattr(self._store, name)
+
+    def __contains__(self, job: SimJob) -> bool:
+        return job in self._store
+
+    def put(self, job: SimJob, result) -> Path:
+        path = self._store.put(job, result)
+        key = job.key()
+        if self._plan.fire("corrupt", key):
+            data = path.read_bytes()
+            if int(key[0], 16) % 2 == 0:
+                # Torn write: keep the front half of the payload.
+                path.write_bytes(data[: max(1, len(data) // 2)])
+            else:
+                # Silent bit-rot: parsable JSON, impossible counters.
+                import json
+
+                payload = json.loads(data)
+                core = payload["result"]["cores"][0]
+                core["llc_misses"] = int(core["llc_accesses"]) + 1
+                path.write_text(json.dumps(payload, sort_keys=True),
+                                encoding="utf-8")
+        return path

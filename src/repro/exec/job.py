@@ -190,6 +190,11 @@ class SimJob:
             benchmark_name, policy, accesses, seed, capacity_cores=capacity_cores
         )
 
+    @property
+    def expected_cores(self) -> int:
+        """Core count a valid result for this job must report."""
+        return 1 if self.kind == "single" else len(self.members)
+
     # ------------------------------------------------------------------
     # Content addressing and serialization
     # ------------------------------------------------------------------

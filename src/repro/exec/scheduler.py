@@ -1,4 +1,4 @@
-"""The batch scheduler: cache-first, parallel on miss.
+"""The batch scheduler: cache-first, parallel on miss, resilient to faults.
 
 A :class:`Scheduler` takes a batch of :class:`~repro.exec.job.SimJob`
 specs and returns their results in submission order.  The pipeline:
@@ -7,39 +7,61 @@ specs and returns their results in submission order.  The pipeline:
    fanned back out to every occurrence; experiment grids repeat alone
    runs heavily, so this alone saves real work.
 2. **Cache lookup** — if a :class:`~repro.exec.store.ResultStore` is
-   attached, every unique job is first looked up by content hash.
+   attached, every unique job is first looked up by content hash (the
+   store validates and quarantines bad entries on read).
 3. **Execute** — misses run through a ``ProcessPoolExecutor`` when more
    than one worker is configured (and there is more than one miss),
    else inline.  Each miss gets ``1 + retries`` attempts; a worker
    crash (``BrokenProcessPool``) or per-job timeout tears the pool down,
    and surviving work is resubmitted to a fresh pool without being
-   charged an attempt.
+   charged an attempt.  Retry rounds are separated by exponential
+   backoff with deterministic jitter.  Every fresh result is checked
+   against the engine invariants (:mod:`repro.exec.validate`) before it
+   is accepted or persisted.
 4. **Report** — an optional progress callback receives one event per
    resolved job plus a final ``batch`` event carrying the
-   :class:`BatchReport` (completed/cached/failed counts and wall time).
+   :class:`BatchReport`; per-job outcomes land in
+   :attr:`Scheduler.last_outcomes` for the run journal.
+
+SIGINT/SIGTERM during :meth:`Scheduler.run` are handled gracefully: the
+scheduler stops dispatching, harvests whatever already finished (and
+persists it to the store), then raises
+:class:`~repro.common.errors.RunInterrupted` carrying the partial report
+and outcomes — so an interrupted run leaves a resumable trail instead of
+a stack trace.
 
 Simulations are pure functions of their job spec, so a batch's results
-are identical regardless of worker count or cache state — the
-equivalence tests in ``tests/test_exec.py`` pin this down.
+are identical regardless of worker count, cache state, or injected
+faults that retries absorb — ``tests/test_exec.py`` and
+``tests/test_faults.py`` pin this down.
 """
 
 from __future__ import annotations
 
+import signal
+import threading
 import time
-from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.common.errors import ExecError
+from repro.common.errors import ExecError, RunInterrupted
+from repro.common.rng import DEFAULT_SEED, make_rng
 from repro.exec.job import SimJob, execute_job
 from repro.exec.store import ResultStore
+from repro.exec.validate import validate_result
 from repro.sim.engine import SimResult
 
 #: Signature of the progress hook: receives event dicts with at least an
 #: ``"event"`` field (``cached`` / ``completed`` / ``failed`` / ``retry``
-#: / ``batch``).
+#: / ``interrupted`` / ``batch``).
 ProgressHook = Callable[[Dict[str, object]], None]
+
+#: How often the pool path polls a future, so interrupts and timeouts
+#: are noticed promptly without busy-waiting.
+_POLL_SECONDS = 0.1
 
 
 @dataclass
@@ -51,6 +73,7 @@ class BatchReport:
     cached: int = 0
     failed: int = 0
     retried: int = 0
+    interrupted: int = 0
     wall_time: float = 0.0
 
     @property
@@ -62,11 +85,14 @@ class BatchReport:
 
     def describe(self) -> str:
         """One-line human-readable summary."""
-        return (
+        line = (
             f"{self.total} jobs: {self.completed} computed, "
             f"{self.cached} cached, {self.failed} failed "
-            f"({self.retried} retried) in {self.wall_time:.2f}s"
+            f"({self.retried} retried)"
         )
+        if self.interrupted:
+            line += f", {self.interrupted} interrupted"
+        return f"{line} in {self.wall_time:.2f}s"
 
     def merge(self, other: "BatchReport") -> None:
         """Accumulate another report into this one (for run-wide totals)."""
@@ -75,6 +101,7 @@ class BatchReport:
         self.cached += other.cached
         self.failed += other.failed
         self.retried += other.retried
+        self.interrupted += other.interrupted
         self.wall_time += other.wall_time
 
 
@@ -86,6 +113,11 @@ class _JobState:
     indices: List[int] = field(default_factory=list)
     attempts: int = 0
     error: Optional[str] = None
+    timings: List[float] = field(default_factory=list)
+
+
+class _Interrupted(Exception):
+    """Internal: the interrupt flag was observed while awaiting a future."""
 
 
 class Scheduler:
@@ -104,8 +136,15 @@ class Scheduler:
         strict: raise :class:`~repro.common.errors.ExecError` if any job
             is still failed after retries; when ``False``, failed slots
             come back as ``None`` and only the report records them.
-        execute: the job runner (overridable for tests; must be
-            picklable when running with a process pool).
+        execute: the job runner (overridable for tests and fault
+            injection; must be picklable when running with a process
+            pool).
+        validate: check every fresh result against the engine invariants
+            before accepting it; an invalid result is charged as a
+            failed attempt and never persisted.
+        backoff_base: first retry-round delay in seconds (0 disables
+            backoff entirely).
+        backoff_cap: upper bound on any single retry-round delay.
     """
 
     def __init__(
@@ -117,9 +156,14 @@ class Scheduler:
         progress: Optional[ProgressHook] = None,
         strict: bool = True,
         execute: Callable[[SimJob], SimResult] = execute_job,
+        validate: bool = True,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
     ) -> None:
         if retries < 0:
             raise ExecError(f"retries must be >= 0, got {retries}")
+        if backoff_base < 0 or backoff_cap < 0:
+            raise ExecError("backoff_base and backoff_cap must be >= 0")
         self.jobs = max(1, int(jobs))
         self.store = store
         self.timeout = timeout
@@ -127,35 +171,133 @@ class Scheduler:
         self.progress = progress
         self.strict = strict
         self.execute = execute
+        self.validate = validate
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
         self.last_report: Optional[BatchReport] = None
+        #: Per-unique-job outcome of the last run, keyed by content hash:
+        #: ``{"status", "attempts", "error", "label", "occurrences"}``.
+        self.last_outcomes: Dict[str, Dict[str, object]] = {}
+        self._interrupted = False
 
     # ------------------------------------------------------------------
 
-    def _emit(self, event: str, state: _JobState, done: int, total: int) -> None:
+    def _emit(
+        self,
+        event: str,
+        state: _JobState,
+        done: int,
+        total: int,
+        **extra: object,
+    ) -> None:
         if self.progress is None:
             return
-        self.progress(
-            {
-                "event": event,
-                "job": state.job,
-                "key": state.job.key(),
-                "label": state.job.describe(),
-                "error": state.error,
-                "done": done,
-                "total": total,
-            }
+        record: Dict[str, object] = {
+            "event": event,
+            "job": state.job,
+            "key": state.job.key(),
+            "label": state.job.describe(),
+            "error": state.error,
+            "done": done,
+            "total": total,
+        }
+        record.update(extra)
+        self.progress(record)
+
+    def _record_outcome(self, state: _JobState, status: str) -> None:
+        self.last_outcomes[state.job.key()] = {
+            "status": status,
+            "attempts": state.attempts,
+            "error": state.error,
+            "label": state.job.describe(),
+            "occurrences": len(state.indices),
+        }
+
+    # ------------------------------------------------------------------
+    # Interrupt plumbing
+    # ------------------------------------------------------------------
+
+    def _install_signal_handlers(self) -> List[Tuple[int, object]]:
+        """Trade SIGINT/SIGTERM for a drain flag while a batch runs.
+
+        Only possible from the main thread; elsewhere (or where signals
+        are unavailable) the batch simply runs uninterruptible, which is
+        the pre-existing behavior.
+        """
+        if threading.current_thread() is not threading.main_thread():
+            return []
+
+        def _flag(_signum, _frame) -> None:
+            self._interrupted = True
+
+        installed: List[Tuple[int, object]] = []
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                installed.append((signum, signal.signal(signum, _flag)))
+            except (ValueError, OSError):  # non-main interpreter quirks
+                continue
+        return installed
+
+    @staticmethod
+    def _restore_signal_handlers(installed: List[Tuple[int, object]]) -> None:
+        for signum, previous in installed:
+            try:
+                signal.signal(signum, previous)
+            except (ValueError, OSError, TypeError):
+                continue
+
+    def _await(self, future: "Future", timeout: Optional[float]):
+        """Wait on a future in short polls so interrupts stay responsive.
+
+        Raises :class:`_Interrupted` when the drain flag is set and
+        :class:`FutureTimeout` when ``timeout`` elapses.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            if self._interrupted:
+                raise _Interrupted()
+            remaining = None if deadline is None else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                raise FutureTimeout()
+            wait = _POLL_SECONDS if remaining is None else min(_POLL_SECONDS, remaining)
+            try:
+                return future.result(timeout=wait)
+            except FutureTimeout:
+                continue
+
+    # ------------------------------------------------------------------
+
+    def _backoff_delay(self, round_no: int, retry: Sequence[_JobState]) -> float:
+        """Deterministic exponential backoff before retry round ``round_no``.
+
+        The jitter stream is seeded from the retrying jobs' content keys
+        (via :mod:`repro.common.rng`), so a given batch backs off
+        identically on every run and machine.
+        """
+        if self.backoff_base <= 0:
+            return 0.0
+        label = "retry-backoff:%d:%s" % (
+            round_no,
+            ",".join(sorted(state.job.key() for state in retry)[:4]),
         )
+        jitter = 0.5 + 0.5 * float(make_rng(DEFAULT_SEED, label).random())
+        return min(self.backoff_cap, self.backoff_base * (2 ** (round_no - 1))) * jitter
 
     def run(self, batch: Sequence[SimJob]) -> List[Optional[SimResult]]:
         """Resolve every job of ``batch``, in order.
 
         Returns one :class:`SimResult` per submitted job (duplicates
         share one simulation).  With ``strict=True`` (the default) a job
-        that fails after retries raises; otherwise its slot is ``None``.
+        that fails after retries raises; a SIGINT/SIGTERM mid-batch
+        raises :class:`~repro.common.errors.RunInterrupted` after
+        persisting everything that finished; otherwise failed slots are
+        ``None`` and only the report records them.
         """
         started = time.monotonic()
         report = BatchReport(total=len(batch))
         results: List[Optional[SimResult]] = [None] * len(batch)
+        self._interrupted = False
+        self.last_outcomes = {}
 
         # Dedup by content key, preserving first-seen order.
         states: Dict[str, _JobState] = {}
@@ -172,6 +314,7 @@ class Scheduler:
             else:
                 report.completed += len(state.indices)
             done = report.cached + report.completed + report.failed
+            self._record_outcome(state, "cached" if cached else "completed")
             self._emit("cached" if cached else "completed", state, done, report.total)
 
         failures: List[_JobState] = []
@@ -180,34 +323,78 @@ class Scheduler:
             failures.append(state)
             report.failed += len(state.indices)
             done = report.cached + report.completed + report.failed
+            self._record_outcome(state, "failed")
             self._emit("failed", state, done, report.total)
 
-        # Cache-first pass.
-        misses: List[_JobState] = []
-        for state in unique:
-            stored = self.store.get(state.job) if self.store is not None else None
-            if stored is not None:
-                settle(state, stored, cached=True)
-            else:
-                misses.append(state)
+        installed = self._install_signal_handlers()
+        try:
+            # Cache-first pass.
+            misses: List[_JobState] = []
+            for state in unique:
+                if self._interrupted:
+                    misses.append(state)
+                    continue
+                stored = self.store.get(state.job) if self.store is not None else None
+                if stored is not None:
+                    settle(state, stored, cached=True)
+                else:
+                    misses.append(state)
 
-        # Execute misses, retrying per job.
-        pending = list(misses)
-        while pending:
-            use_pool = self.jobs > 1 and len(pending) > 1
-            completed, retry, failed = (
-                self._run_pool(pending) if use_pool else self._run_inline(pending)
+            # Execute misses, retrying per round with backoff between rounds.
+            pending = list(misses)
+            round_no = 0
+            while pending and not self._interrupted:
+                round_no += 1
+                use_pool = self.jobs > 1 and len(pending) > 1
+                completed, retry, failed, interrupted = (
+                    self._run_pool(pending) if use_pool else self._run_inline(pending)
+                )
+                for state, result in completed:
+                    if self.store is not None:
+                        self.store.put(state.job, result)
+                    settle(state, result, cached=False)
+                for state in failed:
+                    fail(state)
+                if interrupted:
+                    # Interrupted and retry-routed jobs alike stay
+                    # unresolved; the journal marks them for the resume.
+                    break
+                if retry:
+                    delay = self._backoff_delay(round_no, retry)
+                    for state in retry:
+                        report.retried += 1
+                        self._emit(
+                            "retry",
+                            state,
+                            report.cached + report.completed + report.failed,
+                            report.total,
+                            attempt=state.attempts,
+                            elapsed=state.timings[-1] if state.timings else None,
+                            backoff=delay,
+                        )
+                    if delay > 0:
+                        time.sleep(delay)
+                pending = retry
+        finally:
+            self._restore_signal_handlers(installed)
+
+        if self._interrupted:
+            # Anything not yet settled or failed is left for the resume.
+            resolved = set(self.last_outcomes)
+            for state in unique:
+                if state.job.key() not in resolved:
+                    report.interrupted += len(state.indices)
+                    self._record_outcome(state, "interrupted")
+            report.wall_time = time.monotonic() - started
+            self.last_report = report
+            if self.progress is not None:
+                self.progress({"event": "interrupted", "report": report})
+            raise RunInterrupted(
+                f"batch interrupted: {report.cached + report.completed} of "
+                f"{report.total} jobs settled, {report.interrupted} left",
+                report=report,
+                outcomes=self.last_outcomes,
             )
-            for state, result in completed:
-                if self.store is not None:
-                    self.store.put(state.job, result)
-                settle(state, result, cached=False)
-            for state in failed:
-                fail(state)
-            for state in retry:
-                report.retried += 1
-                self._emit("retry", state, report.cached + report.completed + report.failed, report.total)
-            pending = retry
 
         report.wall_time = time.monotonic() - started
         self.last_report = report
@@ -224,64 +411,132 @@ class Scheduler:
         return results
 
     # ------------------------------------------------------------------
-    # Execution backends.  Both return (completed, retry, failed) where
-    # completed pairs each state with its result.
+    # Execution backends.  Both return (completed, retry, failed,
+    # interrupted) where completed pairs each state with its result and
+    # interrupted holds states abandoned by a SIGINT/SIGTERM drain.
     # ------------------------------------------------------------------
 
-    def _charge(self, state: _JobState, error: str):
+    def _charge(self, state: _JobState, error: str, elapsed: float):
         """Record a failed attempt; route the job to retry or failure."""
         state.attempts += 1
         state.error = error
+        state.timings.append(elapsed)
         return state.attempts <= self.retries
 
+    def _accept(self, state: _JobState, result: SimResult) -> Optional[str]:
+        """Invariant-check a fresh result; returns the violation, if any."""
+        if not self.validate:
+            return None
+        violations = validate_result(result, state.job)
+        if violations:
+            return "invalid result: " + "; ".join(violations[:3])
+        return None
+
     def _run_inline(self, pending: List[_JobState]):
-        completed, retry, failed = [], [], []
-        for state in pending:
+        completed, retry, failed, interrupted = [], [], [], []
+        for position, state in enumerate(pending):
+            if self._interrupted:
+                interrupted.extend(pending[position:])
+                break
+            attempt_started = time.monotonic()
             try:
-                completed.append((state, self.execute(state.job)))
+                result = self.execute(state.job)
             except Exception as exc:  # noqa: BLE001 — converted to job failure
-                (retry if self._charge(state, repr(exc)) else failed).append(state)
-        return completed, retry, failed
+                elapsed = time.monotonic() - attempt_started
+                (retry if self._charge(state, repr(exc), elapsed) else failed).append(
+                    state
+                )
+                continue
+            elapsed = time.monotonic() - attempt_started
+            violation = self._accept(state, result)
+            if violation is None:
+                state.timings.append(elapsed)
+                completed.append((state, result))
+            else:
+                (retry if self._charge(state, violation, elapsed) else failed).append(
+                    state
+                )
+        return completed, retry, failed, interrupted
 
     def _run_pool(self, pending: List[_JobState]):
-        completed, retry, failed = [], [], []
+        completed, retry, failed, interrupted = [], [], [], []
         workers = min(self.jobs, len(pending))
         pool = ProcessPoolExecutor(max_workers=workers)
+        round_started = time.monotonic()
         futures = [(state, pool.submit(self.execute, state.job)) for state in pending]
         pool_dead = False
+
+        def harvest(state: _JobState, future: "Future", bucket: List[_JobState]) -> None:
+            """Collect an already-finished future; requeue the rest."""
+            try:
+                result = future.result(timeout=0)
+            except Exception:  # noqa: BLE001 — never ran, or died with the pool
+                bucket.append(state)
+                return
+            violation = self._accept(state, result)
+            if violation is None:
+                state.timings.append(time.monotonic() - round_started)
+                completed.append((state, result))
+            else:
+                elapsed = time.monotonic() - round_started
+                (retry if self._charge(state, violation, elapsed) else failed).append(
+                    state
+                )
+
         try:
             for state, future in futures:
                 if pool_dead:
                     # The pool died mid-batch.  Jobs that finished before
                     # the break still hold results; the rest are requeued
                     # without being charged an attempt (they never ran).
-                    try:
-                        completed.append((state, future.result(timeout=0)))
-                    except Exception:  # noqa: BLE001
-                        retry.append(state)
+                    harvest(state, future, retry)
                     continue
+                if self._interrupted:
+                    harvest(state, future, interrupted)
+                    continue
+                elapsed = lambda: time.monotonic() - round_started  # noqa: E731
                 try:
-                    completed.append((state, future.result(timeout=self.timeout)))
+                    result = self._await(future, self.timeout)
+                except _Interrupted:
+                    harvest(state, future, interrupted)
+                    continue
                 except FutureTimeout:
                     pool_dead = True
                     self._terminate_workers(pool)
-                    if self._charge(state, f"timed out after {self.timeout}s"):
+                    if self._charge(
+                        state, f"timed out after {self.timeout}s", elapsed()
+                    ):
                         retry.append(state)
                     else:
                         failed.append(state)
+                    continue
                 except BrokenProcessPool:
                     pool_dead = True
-                    if self._charge(state, "worker process crashed"):
+                    if self._charge(state, "worker process crashed", elapsed()):
                         retry.append(state)
                     else:
                         failed.append(state)
+                    continue
                 except Exception as exc:  # noqa: BLE001 — converted to job failure
-                    (retry if self._charge(state, repr(exc)) else failed).append(state)
+                    (
+                        retry
+                        if self._charge(state, repr(exc), elapsed())
+                        else failed
+                    ).append(state)
+                    continue
+                violation = self._accept(state, result)
+                if violation is None:
+                    state.timings.append(elapsed())
+                    completed.append((state, result))
+                elif self._charge(state, violation, elapsed()):
+                    retry.append(state)
+                else:
+                    failed.append(state)
         finally:
-            if pool_dead:
+            if pool_dead or interrupted:
                 self._terminate_workers(pool)
-            pool.shutdown(wait=not pool_dead, cancel_futures=True)
-        return completed, retry, failed
+            pool.shutdown(wait=not (pool_dead or interrupted), cancel_futures=True)
+        return completed, retry, failed, interrupted
 
     @staticmethod
     def _terminate_workers(pool: ProcessPoolExecutor) -> None:

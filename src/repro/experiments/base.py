@@ -19,17 +19,18 @@ from repro.common.errors import ExperimentError
 SCALE_ENV_VAR = "REPRO_SCALE"
 
 
-def sim_grid(jobs: Sequence["object"]) -> List["object"]:
+def sim_grid(jobs: Sequence["object"], label: Optional[str] = None) -> List["object"]:
     """Resolve a batch of :class:`~repro.exec.job.SimJob` specs.
 
     The grid-shaped drivers build their whole (benchmark x variant)
     batch up front and submit it here: results come back in submission
     order, cache-first and parallel on miss, under the process-wide
     execution defaults (``run --jobs N --no-cache``, ``REPRO_JOBS``).
+    ``label`` names the batch in the run journal.
     """
     from repro.exec import run_jobs
 
-    return run_jobs(jobs)
+    return run_jobs(jobs, label=label or f"grid:{len(jobs)}jobs")
 
 
 def scaled_accesses(default: int) -> int:

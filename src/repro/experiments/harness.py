@@ -48,7 +48,8 @@ def grid_weighted_speedups(
         for name in mix_members(mix_name)
     ]
     batch = mix_jobs + alone_jobs
-    resolved = dict(zip((job.key() for job in batch), run_jobs(batch)))
+    label = f"speedup-grid:{len(mixes)}mixes x {len(policies)}policies"
+    resolved = dict(zip((job.key() for job in batch), run_jobs(batch, label=label)))
 
     speedups: Dict[str, Dict[str, float]] = {}
     for mix_name in mixes:

@@ -99,6 +99,17 @@ class SimResult:
         """Total measured LLC misses across cores."""
         return sum(result.llc_misses for result in self.cores)
 
+    def validate(self, job=None) -> List[str]:
+        """Engine-invariant violations of this result (empty == valid).
+
+        Delegates to :func:`repro.exec.validate.validate_result`; the
+        optional ``job`` enables spec-consistency checks.  Imported
+        lazily so the sim layer stays independent of the exec layer.
+        """
+        from repro.exec.validate import validate_result
+
+        return validate_result(self, job)
+
     def to_dict(self) -> Dict[str, object]:
         """JSON-serializable representation (exact round-trip).
 

@@ -155,18 +155,59 @@ class TestResultStore:
         assert path.parent.parent == tmp_path / "store" / f"v{ENGINE_VERSION}"
         assert path.name == f"{job.key()}.json"
 
-    def test_corrupted_entry_is_a_miss_and_removed(self, store):
+    def test_corrupted_entry_is_a_miss_and_quarantined(self, store):
         job = SimJob.single("hmmer_like", "lru", ACCESSES)
         path = store.put(job, execute_job(job))
         path.write_text("{ not json", encoding="utf-8")
         assert store.get(job) is None
-        assert not path.exists()
+        assert not path.exists()  # moved aside, see quarantine tests
+        assert store.stats().quarantined == 1
 
     def test_entry_missing_fields_is_a_miss(self, store):
         job = SimJob.single("hmmer_like", "lru", ACCESSES)
         path = store.put(job, execute_job(job))
         path.write_text(json.dumps({"job": job.to_dict()}), encoding="utf-8")
         assert store.get(job) is None
+
+    def test_contains_delegates_to_validated_read(self, store):
+        job = SimJob.single("hmmer_like", "lru", ACCESSES)
+        path = store.put(job, execute_job(job))
+        assert job in store
+        path.write_text("{ not json", encoding="utf-8")
+        assert job not in store  # would have been True with a bare is_file()
+
+    def test_leaked_tmp_files_excluded_and_swept(self, store):
+        import os
+        import time
+
+        job = SimJob.single("hmmer_like", "lru", ACCESSES)
+        path = store.put(job, execute_job(job))
+        leaked = path.with_name(f".{path.name}.999.tmp")
+        leaked.write_text("torn", encoding="utf-8")
+
+        assert store.stats().entries == 1  # tmp files are not entries
+
+        # prune leaves young tmp files alone (a live writer may own them)
+        assert store.prune(keep=10) == 0
+        assert leaked.exists()
+        # ...but sweeps them once they are clearly stale.
+        old = time.time() - 7200
+        os.utime(leaked, (old, old))
+        store.prune(keep=10)
+        assert not leaked.exists()
+        assert path.exists()
+
+    def test_clear_sweeps_tmp_and_quarantine(self, store):
+        job = SimJob.single("hmmer_like", "lru", ACCESSES)
+        path = store.put(job, execute_job(job))
+        leaked = path.with_name(f".{path.name}.999.tmp")
+        leaked.write_text("torn", encoding="utf-8")
+        path.write_text("{ bad", encoding="utf-8")
+        assert store.get(job) is None  # quarantines the bad entry
+        store.put(job, execute_job(job))
+        assert store.clear() == 1
+        assert not leaked.exists()
+        assert store.stats().quarantined == 0
 
     def test_stats_clear(self, store):
         jobs = [
@@ -319,11 +360,68 @@ class TestScheduler:
             raise RuntimeError("still dead")
 
         scheduler = Scheduler(jobs=1, retries=2, strict=False,
-                              execute=always_broken)
+                              execute=always_broken, backoff_base=0.001)
         (result,) = scheduler.run([SimJob.single("hmmer_like", "lru", ACCESSES)])
         assert result is None
         assert scheduler.last_report.retried == 2
         assert scheduler.last_report.failed == 1
+
+    def test_backoff_is_exponential_with_deterministic_jitter(self, monkeypatch):
+        def run_once():
+            sleeps = []
+            monkeypatch.setattr(
+                "repro.exec.scheduler.time.sleep", sleeps.append
+            )
+
+            def always_broken(job):
+                raise RuntimeError("still dead")
+
+            scheduler = Scheduler(jobs=1, retries=3, strict=False,
+                                  execute=always_broken,
+                                  backoff_base=0.1, backoff_cap=10.0)
+            scheduler.run([SimJob.single("hmmer_like", "lru", ACCESSES)])
+            return sleeps
+
+        first = run_once()
+        assert len(first) == 3  # one backoff per retry round
+        # Exponential shape: each round's ceiling doubles; jitter keeps
+        # every delay within [0.5, 1.0] of that ceiling.
+        for round_no, delay in enumerate(first, start=1):
+            ceiling = 0.1 * (2 ** (round_no - 1))
+            assert 0.5 * ceiling <= delay <= ceiling
+        assert first == run_once()  # jitter is seeded, not wall-clock
+
+    def test_backoff_cap_limits_delay(self, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr("repro.exec.scheduler.time.sleep", sleeps.append)
+
+        def always_broken(job):
+            raise RuntimeError("still dead")
+
+        scheduler = Scheduler(jobs=1, retries=6, strict=False,
+                              execute=always_broken,
+                              backoff_base=0.1, backoff_cap=0.25)
+        scheduler.run([SimJob.single("hmmer_like", "lru", ACCESSES)])
+        assert len(sleeps) == 6
+        assert all(delay <= 0.25 for delay in sleeps)
+
+    def test_retry_events_carry_attempt_timings(self):
+        events = []
+
+        def flaky_execute(job):
+            if not [e for e in events if e["event"] == "retry"]:
+                raise RuntimeError("transient")
+            return execute_job(job)
+
+        job = SimJob.single("hmmer_like", "lru", ACCESSES)
+        scheduler = Scheduler(jobs=1, retries=1, progress=events.append,
+                              execute=flaky_execute, backoff_base=0.001)
+        scheduler.run([job])
+        (retry_event,) = [e for e in events if e["event"] == "retry"]
+        assert retry_event["attempt"] == 1
+        assert retry_event["elapsed"] is not None
+        assert retry_event["elapsed"] >= 0
+        assert retry_event["backoff"] > 0
 
 
 # ----------------------------------------------------------------------
