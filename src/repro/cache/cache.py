@@ -49,6 +49,24 @@ class LastLevelCache(ABC):
         """Lines currently held per core (for occupancy reports)."""
         return {}
 
+    def snapshot_counters(self) -> dict:
+        """Current policy counters, for sampled tracing.
+
+        Read-only and cheap (no per-set walks): the engine's observer
+        calls this every few thousand steps while tracing, so a sequence
+        of snapshots reconstructs per-phase fill/hit/eviction rates
+        offline without touching the access path.  Organizations with
+        extra machinery (NUcache's DeliWay retention/promotion counters)
+        extend the dict.
+        """
+        total = self.stats.total
+        return {
+            "hits": total.hits,
+            "misses": total.misses,
+            "evictions": total.evictions,
+            "writebacks": total.writebacks,
+        }
+
 
 class SetAssociativeCache(LastLevelCache):
     """A cache whose behaviour is fully defined by a replacement policy."""
@@ -62,6 +80,8 @@ class SetAssociativeCache(LastLevelCache):
         ]
         self._set_mask = geometry.num_sets - 1
         self._index_bits = geometry.num_sets.bit_length() - 1
+        #: Lines installed (misses that were not bypassed).
+        self.fills = 0
 
     def access(self, block_addr: int, core: int, pc: int, is_write: bool) -> bool:
         cache_set = self.sets[block_addr & self._set_mask]
@@ -73,12 +93,19 @@ class SetAssociativeCache(LastLevelCache):
             return True
         self.stats.record(core, hit=False)
         if not cache_set.policy.should_bypass(core, pc):
+            self.fills += 1
             evicted = cache_set.allocate(tag, core, pc, is_write)
             if evicted is not None:
                 self.stats.total.evictions += 1
                 if evicted[1]:
                     self.stats.total.writebacks += 1
         return False
+
+    def snapshot_counters(self) -> dict:
+        """Base counters plus the fill count (misses minus bypasses)."""
+        counters = super().snapshot_counters()
+        counters["fills"] = self.fills
+        return counters
 
     def probe(self, block_addr: int) -> bool:
         """Check presence without disturbing any state."""

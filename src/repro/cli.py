@@ -6,9 +6,12 @@ Subcommands::
     nucache-repro run fig5 [fig6 ...]  # run experiments, print tables
     nucache-repro run all --jobs 4     # every experiment, 4 workers
     nucache-repro run fig5 --no-cache  # bypass the result store
+    nucache-repro run fig5 --trace     # structured trace + metrics.json
+    nucache-repro run fig5 --profile   # cProfile workers, hot-function table
     nucache-repro run --resume <id>    # finish an interrupted run
     nucache-repro runs list            # past runs (from their journals)
     nucache-repro runs show <id>       # one run's journal, readable
+    nucache-repro runs show <id> --timings   # wall-clock/phase breakdown
     nucache-repro sim --mix mix4_1 --policy nucache   # one simulation
     nucache-repro cache stats                         # result-store report
     nucache-repro cache prune --keep 1000             # trim the store
@@ -22,12 +25,21 @@ resumed run skips completed experiments and is served settled jobs from
 the result store, so its output is byte-identical to an uninterrupted
 run.
 
+``run --trace`` switches on the observability layer (:mod:`repro.obs`):
+a structured event trace under ``<cache dir>/traces/<run-id>/`` and a
+deterministic ``metrics.json`` next to it; ``run --profile`` adds
+per-job cProfile capture with a merged hot-function table per
+experiment.  Both are strictly observational — simulated numbers (and
+the tables printed on stdout) are byte-identical with or without them.
+``runs show <id> --timings`` renders the wall-clock breakdown after the
+fact.
+
 Trace lengths can be scaled globally with the ``REPRO_SCALE``
 environment variable (e.g. ``REPRO_SCALE=0.5`` for half-length traces).
 Worker counts default from ``REPRO_JOBS``; the result store lives under
 ``REPRO_CACHE_DIR`` (default ``~/.cache/nucache-repro``).  Execution
-summaries (computed/cached/failed job counts) go to stderr so tables on
-stdout stay byte-stable.
+summaries (computed/cached/failed job counts) and all observability
+output go to stderr so tables on stdout stay byte-stable.
 """
 
 from __future__ import annotations
@@ -86,6 +98,79 @@ def _resolve_run_request(args: argparse.Namespace) -> tuple:
     return requested, None
 
 
+class _ObsSession:
+    """Observability wiring for one ``run`` invocation (``--trace``/``--profile``).
+
+    Owns the run's trace directory, the process-wide tracer activation
+    (via ``$REPRO_TRACE_DIR``, so pool workers inherit it), the metrics
+    registry, and per-experiment profile capture.  :meth:`finish`
+    restores all process-wide state and exports ``metrics.json`` —
+    everything it prints goes to stderr, keeping stdout byte-stable.
+    """
+
+    def __init__(self, run_id: str, trace: bool, profile: bool) -> None:
+        from repro.obs.metrics import MetricsRegistry, set_registry
+        from repro.obs.timings import trace_dir_for
+
+        self.trace = trace
+        self.profile = profile
+        self.dir = trace_dir_for(run_id)
+        self.dir.mkdir(parents=True, exist_ok=True)
+        self.registry = MetricsRegistry()
+        set_registry(self.registry)
+        self._saved_env: Optional[str] = None
+        if trace:
+            from repro.obs.trace import TRACE_ENV_VAR, reset_tracer
+
+            self._saved_env = os.environ.get(TRACE_ENV_VAR)
+            os.environ[TRACE_ENV_VAR] = str(self.dir)
+            reset_tracer()
+        print(f"[obs] writing to {self.dir}", file=sys.stderr)
+
+    def start_experiment(self, experiment_id: str) -> None:
+        """Point per-job profile dumps at this experiment's directory."""
+        if self.profile:
+            exec_context.configure(
+                profile_dir=str(self.dir / "profiles" / experiment_id)
+            )
+
+    def end_experiment(self, experiment_id: str) -> None:
+        """Merge and render this experiment's profile dumps (stderr)."""
+        if not self.profile:
+            return
+        from repro.obs.profile import merge_profiles, render_hot_table
+
+        stats = merge_profiles(self.dir / "profiles" / experiment_id)
+        if stats is None:
+            print(
+                f"[profile] {experiment_id}: nothing executed "
+                "(all jobs served from the result store?)",
+                file=sys.stderr,
+            )
+            return
+        print(
+            render_hot_table(stats, title=f"[profile] {experiment_id}"),
+            file=sys.stderr,
+        )
+
+    def finish(self) -> None:
+        """Flush the trace, export metrics.json, restore global state."""
+        from repro.obs.metrics import set_registry
+        from repro.obs.trace import TRACE_ENV_VAR, reset_tracer
+
+        if self.profile:
+            exec_context.configure(profile_dir="")
+        if self.trace:
+            reset_tracer()  # closes the main process's tracer (flushes)
+            if self._saved_env is None:
+                os.environ.pop(TRACE_ENV_VAR, None)
+            else:
+                os.environ[TRACE_ENV_VAR] = self._saved_env
+        path = self.registry.export(self.dir / "metrics.json")
+        set_registry(None)
+        print(f"[obs] metrics written to {path}", file=sys.stderr)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     import hashlib
     import time as time_mod
@@ -112,10 +197,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     exec_context.set_journal(journal)
     print(f"[run] id={journal.run_id} journal={journal.path}", file=sys.stderr)
+    obs: Optional[_ObsSession] = None
+    if args.trace or args.profile:
+        obs = _ObsSession(journal.run_id, trace=args.trace, profile=args.profile)
     try:
         for experiment_id in requested:
             exec_context.reset_totals()
             journal.record_experiment_start(experiment_id)
+            if obs is not None:
+                obs.start_experiment(experiment_id)
             started = time_mod.monotonic()
             try:
                 result = run_experiment(experiment_id)
@@ -146,11 +236,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 output_sha256=hashlib.sha256(text.encode("utf-8")).hexdigest(),
                 elapsed=time_mod.monotonic() - started,
             )
+            if obs is not None:
+                obs.end_experiment(experiment_id)
             report = exec_context.totals()
             if report.total:
                 print(f"[exec] {experiment_id}: {report.describe()}", file=sys.stderr)
     finally:
         exec_context.set_journal(None)
+        if obs is not None:
+            obs.finish()
     journal.close("completed")
     return 0
 
@@ -173,8 +267,21 @@ def _cmd_runs(args: argparse.Namespace) -> int:
     except ExecError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    records, warnings = run_journal.load_journal(summary.path)
+    for warning in warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    if args.timings:
+        from repro.obs.timings import (
+            load_trace_records,
+            render_timings,
+            trace_dir_for,
+        )
+
+        trace_records = load_trace_records(trace_dir_for(summary.run_id))
+        print(render_timings(summary, records, trace_records))
+        return 0
     print(summary.describe())
-    for record in run_journal.read_records(summary.path):
+    for record in records:
         kind = record.get("record")
         if kind == "start":
             print(f"  start: experiments={record.get('experiments')} "
@@ -309,6 +416,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="bypass the persistent result store (always recompute)",
     )
+    run_parser.add_argument(
+        "--trace", action="store_true",
+        help="write a structured event trace and metrics.json under "
+        "<cache dir>/traces/<run-id>/ (simulated numbers are unchanged)",
+    )
+    run_parser.add_argument(
+        "--profile", action="store_true",
+        help="profile every executed job with cProfile and print a merged "
+        "hot-function table per experiment (stderr)",
+    )
     run_parser.set_defaults(func=_cmd_run)
 
     runs_parser = subparsers.add_parser(
@@ -321,6 +438,11 @@ def build_parser() -> argparse.ArgumentParser:
     runs_parser.add_argument(
         "run_id", nargs="?", default=None,
         help="run id (or unambiguous prefix) for 'show'",
+    )
+    runs_parser.add_argument(
+        "--timings", action="store_true",
+        help="show: render the wall-clock breakdown (journal + trace) "
+        "instead of the raw records",
     )
     runs_parser.set_defaults(func=_cmd_runs)
 

@@ -58,6 +58,9 @@ class ExecConfig:
     timeout: Optional[float] = None
     retries: int = 1
     progress: Optional[ProgressHook] = None
+    #: When set, every executed job runs under cProfile and dumps its
+    #: stats here (``run --profile``); empty/None disables profiling.
+    profile_dir: Optional[str] = None
 
 
 _config: Optional[ExecConfig] = None
@@ -79,8 +82,13 @@ def configure(
     timeout: Optional[float] = None,
     retries: Optional[int] = None,
     progress: Optional[ProgressHook] = None,
+    profile_dir: Optional[str] = None,
 ) -> ExecConfig:
-    """Override execution defaults; ``None`` leaves a field untouched."""
+    """Override execution defaults; ``None`` leaves a field untouched.
+
+    ``profile_dir`` accepts the empty string to switch profiling back
+    off (``None`` means "leave as is", like every other field).
+    """
     config = current()
     if jobs is not None:
         if jobs <= 0:
@@ -94,6 +102,8 @@ def configure(
         config.retries = retries
     if progress is not None:
         config.progress = progress
+    if profile_dir is not None:
+        config.profile_dir = profile_dir or None
     return config
 
 
@@ -146,6 +156,10 @@ def get_scheduler(progress: Optional[ProgressHook] = None) -> Scheduler:
         execute = FaultyExecute(plan)
         if store is not None:
             store = FaultyStore(store, plan)
+    if config.profile_dir:
+        from repro.obs.profile import ProfiledExecute
+
+        execute = ProfiledExecute(execute, config.profile_dir)
     return Scheduler(
         jobs=config.jobs,
         store=store,
@@ -185,7 +199,24 @@ def run_jobs(
         _journal.record_batch(
             scheduler.last_outcomes, scheduler.last_report, label=label
         )
+    registry = metrics_registry()
+    if registry is not None:
+        from repro.metrics.basic import observe_outcomes, observe_results
+
+        observe_results(registry, results)
+        observe_outcomes(registry, scheduler.last_outcomes)
     return results
+
+
+def metrics_registry():
+    """The active :class:`~repro.obs.metrics.MetricsRegistry`, if any.
+
+    Thin indirection over :func:`repro.obs.metrics.active_registry` so
+    this module's callers need no direct obs import.
+    """
+    from repro.obs.metrics import active_registry
+
+    return active_registry()
 
 
 def totals() -> BatchReport:

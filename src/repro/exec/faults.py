@@ -212,6 +212,7 @@ class FaultyStore:
         return job in self._store
 
     def put(self, job: SimJob, result) -> Path:
+        """Persist via the wrapped store, then damage files the plan picks."""
         path = self._store.put(job, result)
         key = job.key()
         if self._plan.fire("corrupt", key):

@@ -257,7 +257,26 @@ def execute_job(job: SimJob):
     workers can pickle it.  Imports lazily so forked workers pay the
     import cost only once (via the parent) and no import cycle forms
     between the exec and sim layers.
+
+    When tracing is enabled (``REPRO_TRACE_DIR``, inherited by pool
+    workers through the environment), the execution is wrapped in an
+    ``exec.job`` span in *this* process's trace file — the "running"
+    half of the job lifecycle, which the scheduler cannot observe from
+    the parent process.
     """
+    from repro.obs.trace import active_tracer
+
+    tracer = active_tracer()
+    if tracer is None:
+        return _execute(job)
+    with tracer.span(
+        "exec.job", key=job.key()[:12], label=job.describe(), policy=job.policy
+    ):
+        return _execute(job)
+
+
+def _execute(job: SimJob):
+    """Dispatch a job spec to the matching runner helper."""
     from repro.sim.runner import run_single, run_workload
 
     overrides = dict(job.overrides)

@@ -194,23 +194,60 @@ class RunJournal:
 # ----------------------------------------------------------------------
 
 
-def read_records(path: Union[str, Path]) -> List[Dict[str, object]]:
-    """Parse a journal file, tolerating a truncated/corrupt trailing line."""
+def load_journal(
+    path: Union[str, Path]
+) -> "tuple[List[Dict[str, object]], List[str]]":
+    """Parse a journal file into ``(records, warnings)``.
+
+    The valid prefix is always returned.  A truncated final line — the
+    expected damage from a hard kill mid-``append`` — yields a single
+    "torn tail" warning; an unparsable record *before* other valid ones
+    means real corruption, so each such line gets its own warning with
+    its line number.  Callers that only want the records can use
+    :func:`read_records`; ``runs show`` surfaces the warnings.
+    """
     records: List[Dict[str, object]] = []
+    warnings: List[str] = []
     try:
         text = Path(path).read_text(encoding="utf-8")
     except OSError as exc:
         raise ExecError(f"cannot read journal {path}: {exc}") from exc
-    for line in text.splitlines():
-        line = line.strip()
-        if not line:
+    bad: List[int] = []  # 1-based line numbers that failed to parse
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped:
             continue
         try:
-            record = json.loads(line)
+            record = json.loads(stripped)
         except ValueError:
-            continue  # torn final write from a hard kill
-        if isinstance(record, dict):
-            records.append(record)
+            bad.append(lineno)
+            continue
+        if not isinstance(record, dict):
+            bad.append(lineno)
+            continue
+        for earlier in bad:
+            warnings.append(
+                f"journal {Path(path).name}: line {earlier} is corrupt; skipped"
+            )
+        bad = []
+        records.append(record)
+    if bad:
+        # Unparsable lines with nothing valid after them: a torn tail
+        # from an interrupted write, not mid-file corruption.
+        warnings.append(
+            f"journal {Path(path).name}: torn trailing record "
+            f"(line {bad[0]}) dropped; showing the valid prefix"
+        )
+    return records, warnings
+
+
+def read_records(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Parse a journal file, tolerating truncated/corrupt lines.
+
+    Convenience wrapper over :func:`load_journal` that discards the
+    warnings (resume planning and listings only need the records).
+    """
+    records, _warnings = load_journal(path)
     return records
 
 

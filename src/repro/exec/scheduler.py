@@ -52,6 +52,7 @@ from repro.common.rng import DEFAULT_SEED, make_rng
 from repro.exec.job import SimJob, execute_job
 from repro.exec.store import ResultStore
 from repro.exec.validate import validate_result
+from repro.obs.trace import active_tracer
 from repro.sim.engine import SimResult
 
 #: Signature of the progress hook: receives event dicts with at least an
@@ -103,6 +104,19 @@ class BatchReport:
         self.retried += other.retried
         self.interrupted += other.interrupted
         self.wall_time += other.wall_time
+
+
+def _report_fields(report: "BatchReport") -> Dict[str, object]:
+    """Flatten a report into scalar fields for a trace event."""
+    return {
+        "total": report.total,
+        "completed": report.completed,
+        "cached": report.cached,
+        "failed": report.failed,
+        "retried": report.retried,
+        "interrupted": report.interrupted,
+        "wall_time": report.wall_time,
+    }
 
 
 @dataclass
@@ -179,6 +193,7 @@ class Scheduler:
         #: ``{"status", "attempts", "error", "label", "occurrences"}``.
         self.last_outcomes: Dict[str, Dict[str, object]] = {}
         self._interrupted = False
+        self._tracer = None
 
     # ------------------------------------------------------------------
 
@@ -190,6 +205,21 @@ class Scheduler:
         total: int,
         **extra: object,
     ) -> None:
+        if self._tracer is not None:
+            self._tracer.event(
+                "exec.job",
+                status=event,
+                key=state.job.key()[:12],
+                label=state.job.describe(),
+                attempts=state.attempts,
+                done=done,
+                total=total,
+                **{
+                    name: value
+                    for name, value in extra.items()
+                    if isinstance(value, (bool, int, float, str)) or value is None
+                },
+            )
         if self.progress is None:
             return
         record: Dict[str, object] = {
@@ -211,6 +241,12 @@ class Scheduler:
             "error": state.error,
             "label": state.job.describe(),
             "occurrences": len(state.indices),
+            # Per-attempt settle times (seconds); empty for cache hits.
+            # Serial runs time the attempt itself; pooled runs time
+            # submission-to-settle (queue wait included) — for pure
+            # execution durations see the trace's exec.job spans.
+            # `runs show <id> --timings` renders these from the journal.
+            "timings": [round(elapsed, 6) for elapsed in state.timings],
         }
 
     # ------------------------------------------------------------------
@@ -298,6 +334,7 @@ class Scheduler:
         results: List[Optional[SimResult]] = [None] * len(batch)
         self._interrupted = False
         self.last_outcomes = {}
+        self._tracer = active_tracer()
 
         # Dedup by content key, preserving first-seen order.
         states: Dict[str, _JobState] = {}
@@ -305,6 +342,10 @@ class Scheduler:
             state = states.setdefault(job.key(), _JobState(job=job))
             state.indices.append(index)
         unique = list(states.values())
+        if self._tracer is not None:
+            self._tracer.event(
+                "exec.batch_start", total=len(batch), unique=len(unique)
+            )
 
         def settle(state: _JobState, result: SimResult, cached: bool) -> None:
             for index in state.indices:
@@ -339,6 +380,16 @@ class Scheduler:
                     settle(state, stored, cached=True)
                 else:
                     misses.append(state)
+            if self._tracer is not None:
+                # Lifecycle "queued" marks go to the trace only; the
+                # progress hook keeps its documented event set.
+                for state in misses:
+                    self._tracer.event(
+                        "exec.job",
+                        status="queued",
+                        key=state.job.key()[:12],
+                        label=state.job.describe(),
+                    )
 
             # Execute misses, retrying per round with backoff between rounds.
             pending = list(misses)
@@ -387,6 +438,11 @@ class Scheduler:
                     self._record_outcome(state, "interrupted")
             report.wall_time = time.monotonic() - started
             self.last_report = report
+            if self._tracer is not None:
+                self._tracer.event(
+                    "exec.batch_end", status="interrupted",
+                    **_report_fields(report),
+                )
             if self.progress is not None:
                 self.progress({"event": "interrupted", "report": report})
             raise RunInterrupted(
@@ -398,6 +454,10 @@ class Scheduler:
 
         report.wall_time = time.monotonic() - started
         self.last_report = report
+        if self._tracer is not None:
+            self._tracer.event(
+                "exec.batch_end", status="ok", **_report_fields(report)
+            )
         if self.progress is not None:
             self.progress({"event": "batch", "report": report})
         if self.strict and report.failed:

@@ -84,6 +84,10 @@ class NUCache(LastLevelCache):
         self.deli_hits = 0
         #: Lines retained into the DeliWays.
         self.retentions = 0
+        #: DeliWay hits promoted back into the MainWays (stays 0 under
+        #: the ``deli_replacement="lru"`` ablation, which refreshes the
+        #: line in place instead).
+        self.promotions = 0
 
     # ------------------------------------------------------------------
     # LastLevelCache interface
@@ -119,6 +123,7 @@ class NUCache(LastLevelCache):
                 # of promoting it back to the MainWays.
                 nu_set.deli[tag] = entry
             else:
+                self.promotions += 1
                 self._fill_main(
                     nu_set, set_index, tag, entry.core, entry.pc, entry.pc_slot, entry.dirty
                 )
@@ -148,6 +153,16 @@ class NUCache(LastLevelCache):
             for entry in nu_set.deli.values():
                 counts[entry.core] = counts.get(entry.core, 0) + 1
         return counts
+
+    def snapshot_counters(self) -> dict:
+        """Base counters plus the DeliWay retention/promotion counters."""
+        counters = super().snapshot_counters()
+        counters["fills"] = self.stats.total.misses  # every miss fills
+        counters["deli_hits"] = self.deli_hits
+        counters["retentions"] = self.retentions
+        counters["promotions"] = self.promotions
+        counters["epochs"] = self.controller.epochs_completed
+        return counters
 
     # ------------------------------------------------------------------
     # Internals

@@ -1,0 +1,57 @@
+"""`repro.obs` — opt-in observability: tracing, metrics, profiling.
+
+The simulator's execution stack is instrumented at three altitudes, all
+of them **observational** (they never change a simulated number) and all
+**zero-cost when disabled** (no objects allocated, every call site
+guarded):
+
+* :mod:`repro.obs.trace` — a structured event tracer.  Enabled by the
+  ``REPRO_TRACE_DIR`` environment variable (the CLI's ``run --trace``),
+  it records phase boundaries from the engine, sampled cache counters,
+  and job lifecycle events from the scheduler as JSONL files under
+  ``$REPRO_CACHE_DIR/traces/<run-id>/``.
+* :mod:`repro.obs.metrics` — a deterministic metrics registry
+  (counters, gauges, fixed-bucket histograms) exported per run as
+  ``metrics.json``.
+* :mod:`repro.obs.profile` — per-job :mod:`cProfile` capture
+  (``run --profile``) merged into per-experiment hot-function tables.
+* :mod:`repro.obs.timings` — offline rendering of phase/job wall-clock
+  breakdowns (``runs show <id> --timings``) from journal plus trace.
+
+See ``docs/observability.md`` for usage, the trace schema, and the
+overhead guarantees.
+"""
+
+from repro.obs.metrics import (
+    BUCKET_LAYOUTS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    active_registry,
+    set_registry,
+)
+from repro.obs.trace import (
+    TRACE_ENV_VAR,
+    Span,
+    Tracer,
+    active_tracer,
+    reset_tracer,
+    set_tracer,
+)
+
+__all__ = [
+    "BUCKET_LAYOUTS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "TRACE_ENV_VAR",
+    "Tracer",
+    "active_registry",
+    "active_tracer",
+    "reset_tracer",
+    "set_registry",
+    "set_tracer",
+]

@@ -1,0 +1,228 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+The registry is the *aggregation* half of `repro.obs`: where the tracer
+records a timeline, the registry folds a run down to named numbers that
+can be diffed across commits.  It replaces the ad-hoc dictionary
+plumbing that used to carry per-run aggregates (`BatchReport` merges in
+``repro.exec.context``, bare ``level_counts`` dicts in the CLI) with
+three typed instruments:
+
+* :class:`Counter` — a monotonically increasing integer.
+* :class:`Gauge` — a last-write-wins value.
+* :class:`Histogram` — observation counts over a **fixed, named bucket
+  layout** (:data:`BUCKET_LAYOUTS`).  Layouts are part of the schema:
+  two runs of the same code always produce structurally identical
+  output, so ``metrics.json`` files diff cleanly.
+
+Determinism contract: :meth:`MetricsRegistry.to_dict` (and hence the
+exported ``metrics.json``) is a pure function of the sequence of
+recorded observations.  Instruments are keyed by ``name`` plus sorted
+``labels``, serialization sorts every key, and **no wall-clock values
+are ever recorded** — timings belong to the tracer.  That is what lets
+the golden-file test pin ``metrics.json`` byte-for-byte across runs.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.common.errors import ReproError
+
+#: Named fixed bucket layouts (upper bounds; one overflow bucket is
+#: implicit).  Fixed layouts — rather than data-driven ones — are what
+#: makes histogram output deterministic and diffable across runs.
+BUCKET_LAYOUTS: Dict[str, Tuple[float, ...]] = {
+    # Instructions-per-cycle of a simulated core (trace-driven IPC ≤ 1).
+    "ipc": (0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.7, 1.0),
+    # Misses per kilo-instruction.
+    "mpki": (0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0),
+    # Rates and fractions in [0, 1].
+    "ratio": (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
+    # Event counts (geometric, 1 .. 10^7).
+    "count": (1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6, 1e7),
+}
+
+#: Label tuple type: sorted ``(key, value)`` pairs.
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def _label_items(labels: Dict[str, object]) -> LabelItems:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _series_key(name: str, labels: LabelItems) -> str:
+    if not labels:
+        return name
+    rendered = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{rendered}}}"
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelItems) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ReproError(f"counter {self.name} cannot decrease ({amount})")
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins numeric metric."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelItems) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge's value."""
+        self.value = float(value)
+
+
+class Histogram:
+    """Observation counts over a fixed bucket layout.
+
+    ``counts[i]`` counts observations ``v <= bounds[i]`` (cumulative-free
+    form); the final slot counts overflow (``v > bounds[-1]``).  ``sum``
+    accumulates raw values in observation order, so it is deterministic
+    for a deterministic observation sequence.
+    """
+
+    __slots__ = ("name", "labels", "layout", "bounds", "counts", "count", "sum")
+
+    def __init__(self, name: str, labels: LabelItems, layout: str) -> None:
+        if layout not in BUCKET_LAYOUTS:
+            raise ReproError(
+                f"unknown histogram layout {layout!r}; "
+                f"known: {', '.join(sorted(BUCKET_LAYOUTS))}"
+            )
+        self.name = name
+        self.labels = labels
+        self.layout = layout
+        self.bounds = BUCKET_LAYOUTS[layout]
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+
+
+class MetricsRegistry:
+    """A namespace of instruments, exportable as deterministic JSON.
+
+    Instruments are created on first use and keyed by name plus sorted
+    labels; asking for the same series twice returns the same object.
+    Mixing instrument kinds under one series key is an error.
+    """
+
+    def __init__(self) -> None:
+        self._series: Dict[str, object] = {}
+
+    def _get(self, kind, name: str, labels: Dict[str, object], *args):
+        key = _series_key(name, _label_items(labels))
+        instrument = self._series.get(key)
+        if instrument is None:
+            instrument = kind(name, _label_items(labels), *args)
+            self._series[key] = instrument
+        elif not isinstance(instrument, kind):
+            raise ReproError(
+                f"metric {key!r} already registered as "
+                f"{type(instrument).__name__}, not {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        """Get or create the counter for ``name`` + ``labels``."""
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        """Get or create the gauge for ``name`` + ``labels``."""
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, layout: str, **labels: object) -> Histogram:
+        """Get or create the histogram for ``name`` + ``labels``.
+
+        ``layout`` must be a :data:`BUCKET_LAYOUTS` key and must match
+        the layout the series was first created with.
+        """
+        histogram = self._get(Histogram, name, labels, layout)
+        if histogram.layout != layout:
+            raise ReproError(
+                f"histogram {name!r} uses layout {histogram.layout!r}, "
+                f"not {layout!r}"
+            )
+        return histogram
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Deterministic nested-dict form (sorted series keys)."""
+        counters: Dict[str, int] = {}
+        gauges: Dict[str, float] = {}
+        histograms: Dict[str, object] = {}
+        for key in sorted(self._series):
+            instrument = self._series[key]
+            if isinstance(instrument, Counter):
+                counters[key] = instrument.value
+            elif isinstance(instrument, Gauge):
+                gauges[key] = instrument.value
+            else:
+                histogram = instrument
+                histograms[key] = {
+                    "layout": histogram.layout,
+                    "bounds": list(histogram.bounds),
+                    "counts": list(histogram.counts),
+                    "count": histogram.count,
+                    "sum": histogram.sum,
+                }
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def export(self, path: Union[str, Path]) -> Path:
+        """Write ``metrics.json`` (sorted keys, stable byte-for-byte)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+        path.write_text(payload, encoding="utf-8")
+        return path
+
+
+# ----------------------------------------------------------------------
+# Process-wide activation (main process only — workers never aggregate)
+# ----------------------------------------------------------------------
+
+_active: Optional[MetricsRegistry] = None
+
+
+def active_registry() -> Optional[MetricsRegistry]:
+    """The run's registry, or ``None`` when metrics collection is off."""
+    return _active
+
+
+def set_registry(registry: Optional[MetricsRegistry]) -> None:
+    """Install (or, with ``None``, clear) the process-wide registry."""
+    global _active
+    _active = registry

@@ -1,0 +1,276 @@
+"""Structured event tracer: spans, events, counters, JSONL sink.
+
+A :class:`Tracer` records structured events into a bounded in-memory
+ring and flushes them as JSON lines to one file per process.  It is the
+*observation* half of `repro.obs`: instrumented call sites (the engine's
+phase boundaries, the cache's sampled counters, the scheduler's job
+lifecycle) emit records through it, and offline tooling (``nucache-repro
+runs show <id> --timings``) reads them back.
+
+Design rules, in order of importance:
+
+1. **Zero cost when disabled.**  Tracing is off unless the
+   ``REPRO_TRACE_DIR`` environment variable points at a directory (the
+   CLI sets it for ``run --trace``).  When off, :func:`active_tracer`
+   returns ``None`` from a cached check and no tracer object is ever
+   allocated; every instrumented call site guards with
+   ``if tracer is not None``.
+2. **Observe, never steer.**  A tracer must not change a single
+   simulated number: nothing in this module touches simulator state,
+   and all tracer output (including errors) stays off stdout.
+3. **Crash-tolerant.**  Records buffer in a ring and flush whenever the
+   ring fills, when a top-level span closes, and at :meth:`Tracer.close`
+   (also registered via :mod:`atexit`).  Closing with spans still open
+   — an interrupt, an exception — emits an ``end`` record per open span
+   marked ``"aborted": true``, so partial runs still render.
+
+Trace record schema (one JSON object per line)::
+
+    {"type": "begin", "name": ..., "id": N, "parent": N|null,
+     "depth": D, "ts": wall-clock, ...fields}
+    {"type": "end",   "name": ..., "id": N, "dur": seconds,
+     "aborted": true?, ...fields}
+    {"type": "event", "name": ..., "span": N|null, "ts": ..., ...fields}
+    {"type": "counter", "name": ..., "span": N|null, "value": V, ...fields}
+
+``id`` is unique per process-file; cross-process ordering comes from the
+``ts`` wall-clock fields.  Every process (the CLI itself and each worker
+in the pool) writes its own ``proc-<pid>.jsonl`` under the run's trace
+directory, so no cross-process locking is needed.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+#: Environment variable that switches tracing on: the directory trace
+#: files are written to (the CLI points it at
+#: ``$REPRO_CACHE_DIR/traces/<run-id>/``).  Inherited by worker
+#: processes, which is how tracing crosses the process-pool boundary.
+TRACE_ENV_VAR = "REPRO_TRACE_DIR"
+
+#: Records buffered before an automatic flush.
+DEFAULT_RING_CAPACITY = 1024
+
+
+class Span:
+    """One timed region; use as a context manager for paired begin/end.
+
+    Spans nest: each records its parent (the innermost span open on the
+    same tracer when it began) and its depth.  Extra keyword fields
+    passed to :meth:`Tracer.span` land on the ``begin`` record; fields
+    passed to :meth:`done` land on the ``end`` record.
+    """
+
+    __slots__ = ("tracer", "name", "span_id", "parent_id", "depth",
+                 "_started", "closed")
+
+    def __init__(self, tracer: "Tracer", name: str, span_id: int,
+                 parent_id: Optional[int], depth: int) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.depth = depth
+        self._started = time.monotonic()
+        self.closed = False
+
+    def done(self, aborted: bool = False, **fields: object) -> None:
+        """Emit the ``end`` record (idempotent)."""
+        if self.closed:
+            return
+        self.closed = True
+        self.tracer._end_span(self, aborted=aborted, **fields)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> None:
+        self.done(aborted=exc_type is not None)
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since the span began."""
+        return time.monotonic() - self._started
+
+
+class Tracer:
+    """Ring-buffered structured-event writer for one process.
+
+    Args:
+        path: JSONL sink file (parent directories are created).
+        ring_capacity: records buffered before an automatic flush.
+    """
+
+    def __init__(self, path: Union[str, Path],
+                 ring_capacity: int = DEFAULT_RING_CAPACITY) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.ring_capacity = max(1, int(ring_capacity))
+        self._ring: List[str] = []
+        self._open_spans: List[Span] = []
+        self._next_id = 0
+        self._pid = os.getpid()
+        self.closed = False
+
+    # ------------------------------------------------------------------
+    # Recording API
+    # ------------------------------------------------------------------
+
+    def span(self, name: str, **fields: object) -> Span:
+        """Open a nested timed region; close via ``with`` or ``.done()``."""
+        parent = self._open_spans[-1] if self._open_spans else None
+        span = Span(
+            self,
+            name,
+            span_id=self._next_id,
+            parent_id=None if parent is None else parent.span_id,
+            depth=len(self._open_spans),
+        )
+        self._next_id += 1
+        self._open_spans.append(span)
+        self._write({
+            "type": "begin",
+            "name": name,
+            "id": span.span_id,
+            "parent": span.parent_id,
+            "depth": span.depth,
+            "ts": time.time(),
+            **fields,
+        })
+        return span
+
+    def event(self, name: str, **fields: object) -> None:
+        """Record one point-in-time event."""
+        self._write({
+            "type": "event",
+            "name": name,
+            "span": self._current_span_id(),
+            "ts": time.time(),
+            **fields,
+        })
+
+    def counter(self, name: str, value: object, **fields: object) -> None:
+        """Record one counter sample (a monotonic or gauge value)."""
+        self._write({
+            "type": "counter",
+            "name": name,
+            "span": self._current_span_id(),
+            "value": value,
+            "ts": time.time(),
+            **fields,
+        })
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Append every buffered record to the sink file."""
+        if not self._ring:
+            return
+        lines, self._ring = self._ring, []
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write("".join(lines))
+
+    def close(self) -> None:
+        """Abort any open spans, flush, and stop accepting records.
+
+        Safe to call more than once; also registered with ``atexit`` by
+        :func:`active_tracer` so an interrupt or crash still leaves a
+        readable trace (the flush-on-interrupt guarantee).
+        """
+        if self.closed:
+            return
+        while self._open_spans:
+            self._open_spans[-1].done(aborted=True)
+        self.flush()
+        self.closed = True
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _current_span_id(self) -> Optional[int]:
+        return self._open_spans[-1].span_id if self._open_spans else None
+
+    def _end_span(self, span: Span, aborted: bool, **fields: object) -> None:
+        # Close any child spans left open (nesting is strictly LIFO).
+        while self._open_spans and self._open_spans[-1] is not span:
+            self._open_spans[-1].done(aborted=True)
+        if self._open_spans and self._open_spans[-1] is span:
+            self._open_spans.pop()
+        record: Dict[str, object] = {
+            "type": "end",
+            "name": span.name,
+            "id": span.span_id,
+            "dur": span.elapsed,
+            "ts": time.time(),
+        }
+        if aborted:
+            record["aborted"] = True
+        record.update(fields)
+        self._write(record)
+        if not self._open_spans:
+            self.flush()
+
+    def _write(self, record: Dict[str, object]) -> None:
+        if self.closed:
+            return
+        self._ring.append(json.dumps(record, sort_keys=True) + "\n")
+        if len(self._ring) >= self.ring_capacity:
+            self.flush()
+
+
+# ----------------------------------------------------------------------
+# Process-wide activation
+# ----------------------------------------------------------------------
+
+_active: Optional[Tracer] = None
+_resolved = False
+
+
+def active_tracer() -> Optional[Tracer]:
+    """The process's tracer, or ``None`` when tracing is disabled.
+
+    Resolution is lazy and cached: the first call checks
+    ``$REPRO_TRACE_DIR`` and, when set, allocates a :class:`Tracer`
+    writing to ``<dir>/proc-<pid>.jsonl``; when unset, every later call
+    is a cached ``None`` (the zero-cost-disabled guarantee).  A process
+    forked after resolution (a pool worker) gets its own fresh tracer —
+    the parent's buffered records are never duplicated into the child.
+    """
+    global _active, _resolved
+    if _active is not None and _active._pid == os.getpid():
+        return _active
+    if _active is None and _resolved:
+        return None
+    root = os.environ.get(TRACE_ENV_VAR)
+    _resolved = True
+    if not root:
+        _active = None
+        return None
+    _active = Tracer(Path(root) / f"proc-{os.getpid()}.jsonl")
+    atexit.register(_active.close)
+    return _active
+
+
+def set_tracer(tracer: Optional[Tracer]) -> None:
+    """Install (or, with ``None``, clear) the process-wide tracer."""
+    global _active, _resolved
+    _active = tracer
+    _resolved = tracer is not None
+
+
+def reset_tracer() -> None:
+    """Close any active tracer and re-read the environment on next use."""
+    global _active, _resolved
+    if _active is not None:
+        _active.close()
+    _active = None
+    _resolved = False

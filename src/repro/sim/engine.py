@@ -179,14 +179,26 @@ class MulticoreEngine:
     def run(self, max_steps: Optional[int] = None) -> SimResult:
         """Run until every core completes its first pass.
 
+        When tracing is enabled (see :mod:`repro.obs.trace`), phase
+        boundaries — per-core warmup completion, NUcache selection
+        epochs, first-pass completion — and sampled LLC counters are
+        emitted along the way.  The observer only *reads* simulator
+        state, so traced and untraced runs produce identical results;
+        with tracing disabled ``observer`` is ``None`` and the loop pays
+        one predicate per step.
+
         Args:
             max_steps: safety valve for tests; ``None`` means run to
                 completion (guaranteed to terminate since every step
                 advances some core's cursor).
         """
+        from repro.obs.trace import active_tracer
+
         cores = self.cores
         llc = self.llc
         memory = self.memory
+        tracer = active_tracer()
+        observer = None if tracer is None else _EngineObserver(self, tracer)
         pending = [core for core in cores if not core.first_pass_done]
         steps = 0
         while pending:
@@ -195,8 +207,12 @@ class MulticoreEngine:
             if runner.first_pass_done:
                 pending = [core for core in cores if not core.first_pass_done]
             steps += 1
+            if observer is not None:
+                observer.after_step(runner, steps)
             if max_steps is not None and steps >= max_steps:
                 break
+        if observer is not None:
+            observer.finish(steps)
         return self._collect()
 
     def _collect(self) -> SimResult:
@@ -225,6 +241,87 @@ class MulticoreEngine:
             llc_occupancy_by_core=self.llc.occupancy_by_core(),
             llc_extra=extra,
         )
+
+
+#: Engine steps between sampled LLC counter emissions while tracing.
+OBS_SAMPLE_STEPS = 4096
+
+
+class _EngineObserver:
+    """Emits phase/counter trace records for one engine run.
+
+    Strictly read-only over the simulator: it watches per-core warmup
+    and first-pass transitions, polls the NUcache controller's epoch
+    counter, and samples the LLC's counter snapshot every
+    :data:`OBS_SAMPLE_STEPS` steps.  Allocated only when a tracer is
+    active, so untraced runs never pay for it.
+    """
+
+    def __init__(self, engine: "MulticoreEngine", tracer) -> None:
+        self.tracer = tracer
+        self.llc = engine.llc
+        self.span = tracer.span(
+            "sim.run",
+            policy=engine.llc.name,
+            cores=len(engine.cores),
+            accesses_per_core=engine.cores[0].trace_length,
+        )
+        self._in_warmup = {
+            core.core_id for core in engine.cores if core.warmup_accesses > 0
+        }
+        self._finished: set = set()
+        controller = getattr(engine.llc, "controller", None)
+        self._controller = controller
+        self._epochs_seen = 0 if controller is None else controller.epochs_completed
+        self._phase_started = self.span.elapsed
+
+    def _emit_phase(self, phase: str) -> None:
+        now = self.span.elapsed
+        self.tracer.event("sim.phase", phase=phase, dur=now - self._phase_started)
+        self._phase_started = now
+
+    def after_step(self, runner: CoreModel, steps: int) -> None:
+        """Observe one engine step (phase transitions, sampled counters)."""
+        core_id = runner.core_id
+        if core_id in self._in_warmup and (
+            runner.warmup_clock > 0 or runner.passes > 0
+        ):
+            self._in_warmup.discard(core_id)
+            self.tracer.event(
+                "core.warmup_done", core=core_id, clock=runner.clock
+            )
+            if not self._in_warmup:
+                self._emit_phase("warmup")
+        if runner.first_pass_done and core_id not in self._finished:
+            self._finished.add(core_id)
+            self.tracer.event(
+                "core.first_pass",
+                core=core_id,
+                clock=runner.clock,
+                cycles=runner.cycles(),
+            )
+        controller = self._controller
+        if controller is not None and controller.epochs_completed != self._epochs_seen:
+            self._epochs_seen = controller.epochs_completed
+            self.tracer.event(
+                "nucache.epoch",
+                epoch=self._epochs_seen,
+                selected=len(controller.selected_slots),
+            )
+        if steps % OBS_SAMPLE_STEPS == 0:
+            self.tracer.counter(
+                "llc.counters", steps, **self.llc.snapshot_counters()
+            )
+
+    def finish(self, steps: int) -> None:
+        """Close the run span after the loop ends."""
+        if self._in_warmup:
+            # max_steps cut the run short inside the warmup window.
+            self._in_warmup.clear()
+            self._emit_phase("warmup")
+        self._emit_phase("measure")
+        self.tracer.counter("llc.counters", steps, **self.llc.snapshot_counters())
+        self.span.done(steps=steps)
 
 
 def _clock_of(core: CoreModel) -> int:

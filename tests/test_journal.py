@@ -87,6 +87,37 @@ class TestRunJournal:
         # A journal with no end record reads as aborted, not running.
         assert run_journal.summarize(journal.path).status == "aborted"
 
+    def test_load_journal_warns_on_torn_tail(self):
+        journal = RunJournal.create(["fig5"])
+        journal.record_experiment_start("fig5")
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write('{"record": "experiment_end", "experi')  # hard kill
+        records, warnings = run_journal.load_journal(journal.path)
+        assert [r["record"] for r in records] == ["start", "experiment_start"]
+        assert len(warnings) == 1
+        assert "torn trailing record" in warnings[0]
+
+    def test_load_journal_warns_on_midfile_corruption(self):
+        journal = RunJournal.create(["fig5"])
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write("not json at all\n")
+        journal.record_experiment_start("fig5")
+        journal.close("completed")
+        records, warnings = run_journal.load_journal(journal.path)
+        # The valid records around the corruption all survive...
+        assert [r["record"] for r in records] == [
+            "start", "experiment_start", "end",
+        ]
+        # ...and the bad line is called out as corruption, not a torn tail.
+        assert len(warnings) == 1
+        assert "line 2 is corrupt" in warnings[0]
+
+    def test_load_journal_clean_file_has_no_warnings(self):
+        journal = RunJournal.create(["fig5"])
+        journal.close("completed")
+        _records, warnings = run_journal.load_journal(journal.path)
+        assert warnings == []
+
     def test_list_runs_newest_first(self):
         first = RunJournal.create(["fig5"], run_id="20250101-000000-p1")
         second = RunJournal.create(["fig6"], run_id="20250102-000000-p1")
@@ -225,6 +256,22 @@ class TestCliRuns:
         from repro.cli import main
 
         assert main(["runs", "show"]) == 2
+
+    def test_runs_show_renders_torn_journal_with_warning(self, capsys):
+        # Regression: `runs show` on a journal with a torn tail (hard
+        # kill mid-append) must render the valid prefix and warn, not
+        # silently swallow the damage.
+        from repro.cli import main
+
+        journal = RunJournal.create(["fig5"])
+        journal.record_experiment_start("fig5")
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write('{"record": "experiment_end"')  # torn write
+        assert main(["runs", "show", journal.run_id]) == 0
+        captured = capsys.readouterr()
+        assert "fig5: started" in captured.out  # valid prefix rendered
+        assert "torn trailing record" in captured.err
+        assert "warning:" in captured.err
 
     def test_run_rejects_experiments_plus_resume(self, capsys):
         from repro.cli import main
