@@ -11,8 +11,6 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
-import numpy as np
-
 from repro.analysis.reuse import ReuseProfile, analyze
 from repro.common.rng import DEFAULT_SEED
 from repro.workloads.spec_like import benchmark

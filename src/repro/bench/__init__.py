@@ -1,0 +1,55 @@
+"""Performance benchmark suite: micro kernels, macro runs, comparison.
+
+The simulator's value is proportional to its throughput — every figure
+is a grid of simulations, so a silent 2x slowdown doubles the cost of
+the whole evaluation.  This package pins throughput the same way the
+golden tests pin numbers:
+
+* :mod:`repro.bench.micro` — deterministic micro benchmarks of the
+  per-access hot paths (raw LRU cache access, NUcache MainWay/DeliWay
+  access, Next-Use histogram update).
+* :mod:`repro.bench.macro` — a fig5-scale end-to-end simulation batch
+  run through the :class:`repro.exec.scheduler.Scheduler`, measuring
+  wall-clock accesses/sec of the full engine.
+* :mod:`repro.bench.suite` — the timing harness: median-of-k
+  repetitions, schema-versioned JSON payloads (``BENCH_<name>.json``)
+  with no absolute timestamps in the comparison payload.
+* :mod:`repro.bench.compare` — the regression comparator behind
+  ``nucache-repro bench compare A B --max-regress 15%`` and the CI
+  ``perf-smoke`` gate.
+
+See ``docs/benchmarking.md`` for how baselines are blessed and what the
+CI gate enforces.
+"""
+
+from repro.bench.compare import (
+    EXIT_OK,
+    EXIT_REGRESSION,
+    EXIT_SCHEMA_MISMATCH,
+    CompareReport,
+    compare_payloads,
+    parse_regress_threshold,
+)
+from repro.bench.suite import (
+    BENCH_SCHEMA_VERSION,
+    benchmark_names,
+    comparison_payload,
+    load_payload,
+    run_suite,
+    save_payload,
+)
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "CompareReport",
+    "EXIT_OK",
+    "EXIT_REGRESSION",
+    "EXIT_SCHEMA_MISMATCH",
+    "benchmark_names",
+    "compare_payloads",
+    "comparison_payload",
+    "load_payload",
+    "parse_regress_threshold",
+    "run_suite",
+    "save_payload",
+]

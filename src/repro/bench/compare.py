@@ -1,0 +1,155 @@
+"""Benchmark payload comparison — the perf-regression gate.
+
+``nucache-repro bench compare BASELINE CANDIDATE --max-regress 15%``
+pins throughput the way golden tests pin numbers.  Exit codes are part
+of the contract (CI keys off them, tests pin them):
+
+* :data:`EXIT_OK` (0) — every benchmark within the threshold.
+* :data:`EXIT_REGRESSION` (1) — at least one benchmark regressed by
+  more than the threshold.
+* :data:`EXIT_SCHEMA_MISMATCH` (2) — payloads are not comparable:
+  different ``schema_version``, ``mode``, benchmark set, or per-case
+  ``ops`` (different work is not a regression, it's apples/oranges).
+
+Comparison is on ``ops_per_sec`` (higher is better); a *speedup* never
+fails.  The threshold is relative: with ``--max-regress 15%`` a
+candidate fails when ``candidate < baseline * (1 - 0.15)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+#: All benchmarks within threshold.
+EXIT_OK = 0
+#: At least one benchmark regressed beyond the threshold.
+EXIT_REGRESSION = 1
+#: Payloads not comparable (schema/mode/benchmark-set/ops mismatch).
+EXIT_SCHEMA_MISMATCH = 2
+
+
+def parse_regress_threshold(raw: str) -> float:
+    """Parse ``--max-regress`` input: ``"15%"`` or ``"0.15"`` → 0.15."""
+    text = raw.strip()
+    try:
+        if text.endswith("%"):
+            value = float(text[:-1]) / 100.0
+        else:
+            value = float(text)
+    except ValueError:
+        raise ValueError(f"cannot parse regression threshold {raw!r}") from None
+    if not 0.0 <= value < 1.0:
+        raise ValueError(
+            f"regression threshold must be in [0, 1), got {value} from {raw!r}"
+        )
+    return value
+
+
+@dataclass
+class CompareRow:
+    """Per-benchmark comparison outcome.
+
+    ``change`` is the relative throughput delta (+0.25 = 25% faster,
+    -0.20 = 20% slower); ``regressed`` marks rows past the threshold.
+    """
+
+    name: str
+    baseline_ops_per_sec: float
+    candidate_ops_per_sec: float
+    change: float
+    regressed: bool
+
+
+@dataclass
+class CompareReport:
+    """Full comparison outcome: exit code, per-row details, messages."""
+
+    exit_code: int
+    rows: List[CompareRow] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Human-readable table (what the CLI prints)."""
+        lines = []
+        if self.errors:
+            lines.extend(f"error: {message}" for message in self.errors)
+        if self.rows:
+            width = max(len(row.name) for row in self.rows)
+            header = (
+                f"{'benchmark'.ljust(width)}  {'baseline':>14}  "
+                f"{'candidate':>14}  {'change':>8}  status"
+            )
+            lines.append(header)
+            for row in self.rows:
+                status = "REGRESSED" if row.regressed else "ok"
+                lines.append(
+                    f"{row.name.ljust(width)}  {row.baseline_ops_per_sec:>14,.0f}  "
+                    f"{row.candidate_ops_per_sec:>14,.0f}  "
+                    f"{row.change:>+7.1%}  {status}"
+                )
+        verdict = {
+            EXIT_OK: "OK: no benchmark regressed beyond the threshold",
+            EXIT_REGRESSION: "FAIL: benchmark regression detected",
+            EXIT_SCHEMA_MISMATCH: "FAIL: payloads are not comparable",
+        }[self.exit_code]
+        lines.append(verdict)
+        return "\n".join(lines)
+
+
+def _schema_errors(
+    baseline: Dict[str, Any], candidate: Dict[str, Any]
+) -> List[str]:
+    """Reasons the two payloads cannot be meaningfully compared."""
+    errors: List[str] = []
+    for field_name in ("schema_version", "mode"):
+        b, c = baseline.get(field_name), candidate.get(field_name)
+        if b != c:
+            errors.append(f"{field_name} mismatch: baseline={b!r} candidate={c!r}")
+    b_benchmarks = baseline.get("benchmarks")
+    c_benchmarks = candidate.get("benchmarks")
+    if not isinstance(b_benchmarks, dict) or not isinstance(c_benchmarks, dict):
+        errors.append("payload is missing its 'benchmarks' mapping")
+        return errors
+    b_names, c_names = set(b_benchmarks), set(c_benchmarks)
+    if b_names != c_names:
+        only_b = sorted(b_names - c_names)
+        only_c = sorted(c_names - b_names)
+        errors.append(
+            f"benchmark sets differ: baseline-only={only_b} candidate-only={only_c}"
+        )
+        return errors
+    for name in sorted(b_names):
+        b_ops = b_benchmarks[name].get("ops")
+        c_ops = c_benchmarks[name].get("ops")
+        if b_ops != c_ops:
+            errors.append(
+                f"{name}: ops mismatch (baseline={b_ops} candidate={c_ops}); "
+                "different work is not comparable"
+            )
+    return errors
+
+
+def compare_payloads(
+    baseline: Dict[str, Any],
+    candidate: Dict[str, Any],
+    max_regress: float = 0.15,
+) -> CompareReport:
+    """Compare two payloads; see module docstring for the contract."""
+    if not 0.0 <= max_regress < 1.0:
+        raise ValueError(f"max_regress must be in [0, 1), got {max_regress}")
+    errors = _schema_errors(baseline, candidate)
+    if errors:
+        return CompareReport(exit_code=EXIT_SCHEMA_MISMATCH, errors=errors)
+    rows: List[CompareRow] = []
+    any_regressed = False
+    for name in sorted(baseline["benchmarks"]):
+        base_rate = float(baseline["benchmarks"][name]["ops_per_sec"])
+        cand_rate = float(candidate["benchmarks"][name]["ops_per_sec"])
+        change = (cand_rate - base_rate) / base_rate if base_rate > 0 else 0.0
+        regressed = cand_rate < base_rate * (1.0 - max_regress)
+        any_regressed = any_regressed or regressed
+        rows.append(CompareRow(name, base_rate, cand_rate, change, regressed))
+    return CompareReport(
+        exit_code=EXIT_REGRESSION if any_regressed else EXIT_OK, rows=rows
+    )

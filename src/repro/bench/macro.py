@@ -1,0 +1,49 @@
+"""Macro benchmark: fig5-scale simulations through the real scheduler.
+
+Where the micro cases time one kernel in isolation, this case times the
+whole engine — trace generation, the L1/L2/LLC walk, timing model,
+metric collection — by pushing a small fig5-style batch (2-core mixes
+under LRU and NUcache) through :class:`repro.exec.scheduler.Scheduler`.
+The store is deliberately disabled (``store=None``): a benchmark served
+from cache would time the store, not the simulator.
+
+``ops`` counts simulated accesses (cores × trace length × jobs), so
+``ops_per_sec`` is end-to-end simulated accesses per wall-clock second —
+directly comparable to the micro numbers to see how much of the access
+budget the surrounding machinery consumes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bench.micro import MIN_OPS, BenchCase
+
+
+def fig5_sim_case(quick: bool = False, ops_scale: float = 1.0) -> BenchCase:
+    """End-to-end fig5-scale batch wall-clock via the exec scheduler."""
+    import time
+
+    from repro.exec.job import SimJob
+    from repro.exec.scheduler import Scheduler
+
+    accesses = 30_000 if not quick else 8_000
+    accesses = max(MIN_OPS, int(accesses * ops_scale))
+    mixes = ["mix2_1", "mix2_2"] if not quick else ["mix2_1"]
+    batch: List[SimJob] = [
+        SimJob.mix(mix_name, policy, accesses, seed=20110211)
+        for mix_name in mixes
+        for policy in ("lru", "nucache")
+    ]
+    total_ops = sum(len(job.members) * job.accesses for job in batch)
+
+    def run_once() -> float:
+        scheduler = Scheduler(jobs=1, store=None)
+        start = time.perf_counter()
+        results = scheduler.run(batch)
+        elapsed = time.perf_counter() - start
+        if any(result is None for result in results):
+            raise RuntimeError("fig5_sim benchmark batch failed")
+        return elapsed
+
+    return BenchCase("fig5_sim", total_ops, "accesses", run_once)

@@ -1,0 +1,153 @@
+"""Benchmark harness: run cases, build payloads, persist them.
+
+A payload is the JSON the ``bench`` CLI writes (``BENCH_<name>.json``)
+and the comparator consumes.  Design constraints:
+
+* **Median-of-k.**  Each case runs ``repetitions`` times; the median
+  wall-clock time is the reported figure.  Medians shrug off the odd GC
+  pause or scheduler hiccup that would poison a mean.
+* **Deterministic comparison payload.**  Two runs on the same machine
+  and commit must agree on everything except the timing fields —
+  :func:`comparison_payload` strips those, and the determinism tests
+  diff what remains.  Hence no absolute timestamps anywhere in the
+  comparison payload: the environment block carries versions, never
+  clocks.
+* **Schema-versioned.**  :data:`BENCH_SCHEMA_VERSION` is embedded in
+  every payload; the comparator refuses to compare across versions
+  (exit code 2) instead of mis-reading old files.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import statistics
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.bench.macro import fig5_sim_case
+from repro.bench.micro import MICRO_CASES, BenchCase
+
+#: Bump when the payload layout changes incompatibly.
+BENCH_SCHEMA_VERSION = 1
+
+#: Timing-derived payload fields, excluded from determinism comparisons.
+TIMING_FIELDS = ("median_s", "ops_per_sec", "times_s")
+
+#: Default repetitions per case (full mode / quick mode).
+DEFAULT_REPETITIONS = 5
+QUICK_REPETITIONS = 3
+
+#: Registry of every case: name -> builder(quick=..., ops_scale=...).
+ALL_CASES: Dict[str, Callable[..., BenchCase]] = dict(MICRO_CASES)
+ALL_CASES["fig5_sim"] = fig5_sim_case
+
+
+def benchmark_names() -> List[str]:
+    """Names of all registered benchmark cases, in run order."""
+    return list(ALL_CASES)
+
+
+def _environment() -> Dict[str, Any]:
+    """Version/machine block for the payload (no clocks, no paths)."""
+    import numpy
+
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "numpy": numpy.__version__,
+    }
+
+
+def run_case(case: BenchCase, repetitions: int) -> Dict[str, Any]:
+    """Time one case ``repetitions`` times and summarize.
+
+    Returns the per-benchmark payload entry: deterministic fields
+    (``ops``, ``unit``, ``repetitions``) plus the timing fields listed
+    in :data:`TIMING_FIELDS`.
+    """
+    if repetitions <= 0:
+        raise ValueError(f"repetitions must be positive, got {repetitions}")
+    times = [case.run_once() for _ in range(repetitions)]
+    median = statistics.median(times)
+    return {
+        "ops": case.ops,
+        "unit": case.unit,
+        "repetitions": repetitions,
+        "median_s": round(median, 6),
+        "ops_per_sec": round(case.ops / median, 2) if median > 0 else 0.0,
+        "times_s": [round(t, 6) for t in times],
+    }
+
+
+def run_suite(
+    quick: bool = False,
+    repetitions: Optional[int] = None,
+    names: Optional[Iterable[str]] = None,
+    ops_scale: float = 1.0,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Run the (selected) benchmark cases and return a full payload.
+
+    Args:
+        quick: use the smaller quick-mode op counts and repetitions.
+        repetitions: override the per-mode default repetition count.
+        names: subset of :func:`benchmark_names` to run (order kept).
+        ops_scale: multiply every case's op count (tests use ``<1``).
+        progress: optional callback invoked with each case name as it
+            starts, for CLI feedback during slow full runs.
+    """
+    if repetitions is None:
+        repetitions = QUICK_REPETITIONS if quick else DEFAULT_REPETITIONS
+    selected = list(names) if names is not None else benchmark_names()
+    unknown = [name for name in selected if name not in ALL_CASES]
+    if unknown:
+        raise ValueError(
+            f"unknown benchmark(s) {unknown}; known: {benchmark_names()}"
+        )
+    benchmarks: Dict[str, Any] = {}
+    for name in selected:
+        if progress is not None:
+            progress(name)
+        case = ALL_CASES[name](quick=quick, ops_scale=ops_scale)
+        benchmarks[name] = run_case(case, repetitions)
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "mode": "quick" if quick else "full",
+        "repetitions": repetitions,
+        "benchmarks": benchmarks,
+        "environment": _environment(),
+    }
+
+
+def comparison_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """The deterministic slice of a payload: everything but the timings.
+
+    Two runs at the same commit/seed/mode must produce identical
+    comparison payloads; the determinism test asserts exactly that.
+    """
+    stripped: Dict[str, Any] = {
+        key: value for key, value in payload.items() if key != "benchmarks"
+    }
+    stripped["benchmarks"] = {
+        name: {k: v for k, v in entry.items() if k not in TIMING_FIELDS}
+        for name, entry in payload["benchmarks"].items()
+    }
+    return stripped
+
+
+def save_payload(payload: Dict[str, Any], path: str) -> None:
+    """Write a payload as stable, diff-friendly JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def load_payload(path: str) -> Dict[str, Any]:
+    """Read a payload previously written by :func:`save_payload`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path} does not contain a benchmark payload object")
+    return payload

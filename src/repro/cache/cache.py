@@ -10,13 +10,14 @@ used for every non-partitioned organization and for the private levels.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, Tuple
 
 from repro.cache.line import CacheLine
 from repro.cache.replacement.base import PolicyFactory
+from repro.cache.replacement.basic import LRUPolicy
 from repro.cache.set_ import CacheSet
 from repro.common.config import CacheGeometry
-from repro.common.stats import SharedCacheStats
+from repro.common.stats import AccessStats, SharedCacheStats
 
 
 class LastLevelCache(ABC):
@@ -80,25 +81,37 @@ class SetAssociativeCache(LastLevelCache):
         ]
         self._set_mask = geometry.num_sets - 1
         self._index_bits = geometry.num_sets.bit_length() - 1
+        # Plain LRU (exact type: subclasses change semantics) never
+        # bypasses, so the per-miss should_bypass call can be skipped.
+        self._plain_lru = bool(self.sets) and type(self.sets[0].policy) is LRUPolicy
         #: Lines installed (misses that were not bypassed).
         self.fills = 0
 
     def access(self, block_addr: int, core: int, pc: int, is_write: bool) -> bool:
+        # The simulator's hottest function: one combined set lookup and
+        # inlined stats bookkeeping (SharedCacheStats.record unrolled)
+        # instead of the find/touch/record call chain.
         cache_set = self.sets[block_addr & self._set_mask]
         tag = block_addr >> self._index_bits
-        way = cache_set.find(tag)
+        way = cache_set.lookup(tag, core, is_write)
+        stats = self.stats
+        per_core = stats.per_core.get(core)
+        if per_core is None:
+            per_core = stats.per_core.setdefault(core, AccessStats())
+        total = stats.total
         if way >= 0:
-            cache_set.touch(way, core, is_write)
-            self.stats.record(core, hit=True)
+            total.hits += 1
+            per_core.hits += 1
             return True
-        self.stats.record(core, hit=False)
-        if not cache_set.policy.should_bypass(core, pc):
+        total.misses += 1
+        per_core.misses += 1
+        if self._plain_lru or not cache_set.policy.should_bypass(core, pc):
             self.fills += 1
             evicted = cache_set.allocate(tag, core, pc, is_write)
             if evicted is not None:
-                self.stats.total.evictions += 1
+                total.evictions += 1
                 if evicted[1]:
-                    self.stats.total.writebacks += 1
+                    total.writebacks += 1
         return False
 
     def snapshot_counters(self) -> dict:

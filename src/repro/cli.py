@@ -17,6 +17,9 @@ Subcommands::
     nucache-repro cache prune --keep 1000             # trim the store
     nucache-repro characterize art_like               # reuse-distance report
     nucache-repro trace art_like -o art.trace         # export a trace
+    nucache-repro bench --quick -o BENCH_now.json     # perf benchmarks
+    nucache-repro bench compare BENCH_baseline.json BENCH_now.json \
+        --max-regress 15%                             # perf-regression gate
 
 Every ``run`` writes an append-only journal (one JSONL manifest under
 ``<cache dir>/runs/``).  A run interrupted by SIGINT/SIGTERM drains
@@ -376,6 +379,56 @@ def _cmd_sim(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        benchmark_names,
+        compare_payloads,
+        load_payload,
+        parse_regress_threshold,
+        run_suite,
+        save_payload,
+    )
+
+    if getattr(args, "bench_cmd", None) == "compare":
+        try:
+            threshold = parse_regress_threshold(args.max_regress)
+            baseline = load_payload(args.baseline)
+            candidate = load_payload(args.candidate)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        report = compare_payloads(baseline, candidate, threshold)
+        print(report.render())
+        return report.exit_code
+    # default action: run the suite
+    names = args.only or None
+    if names:
+        unknown = sorted(set(names) - set(benchmark_names()))
+        if unknown:
+            print(
+                f"error: unknown benchmark(s) {unknown}; "
+                f"known: {benchmark_names()}",
+                file=sys.stderr,
+            )
+            return 2
+    payload = run_suite(
+        quick=args.quick,
+        repetitions=args.repetitions,
+        names=names,
+        progress=lambda name: print(f"[bench] running {name}...", file=sys.stderr),
+    )
+    for name, entry in payload["benchmarks"].items():
+        print(
+            f"{name:<16} {entry['ops_per_sec']:>14,.0f} {entry['unit']}/s "
+            f"(median {entry['median_s']:.4f}s over {entry['repetitions']} reps, "
+            f"{entry['ops']:,} ops)"
+        )
+    if args.output:
+        save_payload(payload, args.output)
+        print(f"[bench] payload written to {args.output}", file=sys.stderr)
+    return 0
+
+
 def _positive_int(raw: str) -> int:
     value = int(raw)
     if value <= 0:
@@ -475,6 +528,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="prune: drop entries older than D days",
     )
     cache_parser.set_defaults(func=_cmd_cache)
+
+    def _add_bench_run_args(target: argparse.ArgumentParser) -> None:
+        target.add_argument(
+            "--quick", action="store_true",
+            help="smaller op counts and fewer repetitions (the CI mode)",
+        )
+        target.add_argument(
+            "--repetitions", type=_positive_int, default=None, metavar="K",
+            help="repetitions per case; the median is reported "
+            "(default: 5 full / 3 quick)",
+        )
+        target.add_argument(
+            "--only", nargs="*", default=None, metavar="NAME",
+            help="run only these benchmarks (see docs/benchmarking.md)",
+        )
+        target.add_argument(
+            "-o", "--output", default=None, metavar="PATH",
+            help="write the schema-versioned JSON payload here "
+            "(e.g. BENCH_candidate.json)",
+        )
+
+    bench_parser = subparsers.add_parser(
+        "bench", help="run performance benchmarks or compare payloads"
+    )
+    # `bench --quick` (no sub-subcommand) runs the suite directly.
+    _add_bench_run_args(bench_parser)
+    bench_sub = bench_parser.add_subparsers(dest="bench_cmd")
+    bench_run = bench_sub.add_parser("run", help="run the benchmark suite")
+    _add_bench_run_args(bench_run)
+    bench_compare = bench_sub.add_parser(
+        "compare", help="compare two payloads; exit 1 on regression"
+    )
+    bench_compare.add_argument("baseline", help="baseline BENCH_*.json")
+    bench_compare.add_argument("candidate", help="candidate BENCH_*.json")
+    bench_compare.add_argument(
+        "--max-regress", default="15%", metavar="PCT",
+        help="fail when a benchmark is slower than baseline by more than "
+        "this ('15%%' or '0.15'; default %(default)s)",
+    )
+    bench_parser.set_defaults(func=_cmd_bench)
+    bench_run.set_defaults(func=_cmd_bench)
+    bench_compare.set_defaults(func=_cmd_bench)
 
     char_parser = subparsers.add_parser(
         "characterize", help="reuse-distance characterization of a benchmark"

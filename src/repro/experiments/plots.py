@@ -8,7 +8,7 @@ notebooks/REPLs when eyeballing a sweep.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.experiments.base import ExperimentResult
 

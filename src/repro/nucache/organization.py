@@ -25,6 +25,7 @@ from repro.cache.cache import LastLevelCache
 from repro.cache.line import CacheLine
 from repro.cache.replacement.basic import LRUPolicy
 from repro.common.config import CacheGeometry, NUcacheConfig
+from repro.common.stats import AccessStats
 from repro.common.errors import ConfigError
 from repro.nucache.controller import NUcacheController, PCKey
 
@@ -94,16 +95,27 @@ class NUCache(LastLevelCache):
     # ------------------------------------------------------------------
 
     def access(self, block_addr: int, core: int, pc: int, is_write: bool) -> bool:
+        # MainWay-hit fast path: the LRU promotion (main_policy is
+        # always plain LRU) and SharedCacheStats.record are inlined —
+        # this branch services the overwhelming majority of LLC hits.
         set_index = block_addr & self._set_mask
         tag = block_addr >> self._index_bits
         nu_set = self.sets[set_index]
 
         way = nu_set.main_tag_to_way.get(tag, -1)
         if way >= 0:
-            nu_set.main_policy.touch(way, core)
+            stack = nu_set.main_policy.stack
+            if stack[0] != way:
+                stack.remove(way)
+                stack.insert(0, way)
             if is_write:
                 nu_set.main_lines[way].dirty = True
-            self.stats.record(core, hit=True)
+            stats = self.stats
+            stats.total.hits += 1
+            per_core = stats.per_core.get(core)
+            if per_core is None:
+                per_core = stats.per_core.setdefault(core, AccessStats())
+            per_core.hits += 1
             if self.controller.note_access():
                 self.controller.rotate(self._remap_slots)
             return True
@@ -170,17 +182,24 @@ class NUCache(LastLevelCache):
 
     def _fill_main(self, nu_set: _NUcacheSet, set_index: int, tag: int,
                    core: int, pc: int, pc_slot: int, dirty: bool) -> None:
-        """Install a line at MRU of the MainWays, evicting if needed."""
+        """Install a line at MRU of the MainWays, evicting if needed.
+
+        main_policy is always plain LRU, so its victim (stack bottom)
+        and insert (move to MRU) are inlined as direct stack operations.
+        """
+        stack = nu_set.main_policy.stack
         if nu_set.free_ways:
             way = nu_set.free_ways.pop()
+            stack.remove(way)
         else:
-            way = nu_set.main_policy.victim()
+            way = stack[-1]
             self._evict_main(nu_set, set_index, way)
+            del stack[-1]
+        stack.insert(0, way)
         line = nu_set.main_lines[way]
         line.fill(tag, core, pc, dirty)
         line.pc_slot = pc_slot
         nu_set.main_tag_to_way[tag] = way
-        nu_set.main_policy.insert(way, core, pc)
 
     def _evict_main(self, nu_set: _NUcacheSet, set_index: int, way: int) -> None:
         """Handle the MainWay victim: retain in DeliWays or evict."""

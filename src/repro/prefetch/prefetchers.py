@@ -23,7 +23,7 @@ Models, in increasing smarts:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 #: PC value attached to prefetch fills (no real instruction issued them).
 PREFETCH_PC = -1

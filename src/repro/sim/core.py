@@ -50,6 +50,12 @@ class CoreModel:
         self.l1 = SetAssociativeCache(config.l1, lru_factory(), f"l1.{core_id}")
         self.l2 = SetAssociativeCache(config.l2, lru_factory(), f"l2.{core_id}")
         self.latency: LatencyConfig = config.latency
+        # Hit latencies flattened out of the frozen dataclass: step()
+        # reads one per access and dataclass attribute access is two
+        # lookups deep.
+        self._lat_l1 = config.latency.l1_hit
+        self._lat_l2 = config.latency.l2_hit
+        self._lat_llc = config.latency.llc_hit
         self.gap = trace.instruction_gap
 
         block_shift = log2_exact(config.block_bytes)
@@ -105,13 +111,13 @@ class CoreModel:
 
         if self.l1.access(block, core, pc, is_write):
             level = LEVEL_L1
-            latency = self.latency.l1_hit
+            latency = self._lat_l1
         elif self.l2.access(block, core, pc, is_write):
             level = LEVEL_L2
-            latency = self.latency.l2_hit
+            latency = self._lat_l2
         elif llc.access(block, core, pc, is_write):
             level = LEVEL_LLC
-            latency = self.latency.llc_hit
+            latency = self._lat_llc
         else:
             level = LEVEL_MEMORY
             latency = memory.service(self.clock)

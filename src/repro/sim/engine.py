@@ -200,6 +200,24 @@ class MulticoreEngine:
         tracer = active_tracer()
         observer = None if tracer is None else _EngineObserver(self, tracer)
         pending = [core for core in cores if not core.first_pass_done]
+        if observer is None and max_steps is None:
+            # Fast loop: no per-step observer/max_steps predicates, and
+            # a lone pending core (every single-core run; the tail of
+            # every multicore run) steps without the min() scan.  Step
+            # order is identical to the instrumented loop: min() is
+            # stable, so a lone pending core is what min() would pick.
+            while pending:
+                if len(pending) == 1:
+                    runner = pending[0]
+                    step = runner.step
+                    while runner.completion_clock < 0:
+                        step(llc, memory)
+                else:
+                    runner = min(pending, key=_clock_of)
+                    runner.step(llc, memory)
+                if runner.first_pass_done:
+                    pending = [core for core in cores if not core.first_pass_done]
+            return self._collect()
         steps = 0
         while pending:
             runner = min(pending, key=_clock_of)

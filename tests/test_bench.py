@@ -1,0 +1,223 @@
+"""Tests for the repro.bench suite: determinism, comparator, CLI.
+
+The bench contract the CI gate relies on:
+
+* same seed + same mode twice → identical *comparison payloads*
+  (everything except the timing fields),
+* payloads carry no absolute timestamps,
+* ``bench compare`` exit codes are pinned: 0 ok / 1 regression /
+  2 schema mismatch.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import (
+    EXIT_OK,
+    EXIT_REGRESSION,
+    EXIT_SCHEMA_MISMATCH,
+    benchmark_names,
+    compare_payloads,
+    comparison_payload,
+    load_payload,
+    parse_regress_threshold,
+    run_suite,
+    save_payload,
+)
+
+#: Tiny op scale so a full suite run stays test-fast.
+SCALE = 0.02
+
+
+def _tiny_suite(**kwargs):
+    return run_suite(quick=True, repetitions=1, ops_scale=SCALE, **kwargs)
+
+
+class TestSuiteDeterminism:
+    def test_same_mode_twice_identical_comparison_payload(self):
+        first = _tiny_suite()
+        second = _tiny_suite()
+        assert comparison_payload(first) == comparison_payload(second)
+
+    def test_comparison_payload_strips_exactly_timing_fields(self):
+        payload = _tiny_suite(names=["lru_access"])
+        entry = payload["benchmarks"]["lru_access"]
+        stripped = comparison_payload(payload)["benchmarks"]["lru_access"]
+        assert set(entry) - set(stripped) == {"median_s", "ops_per_sec", "times_s"}
+        assert stripped == {
+            "ops": entry["ops"],
+            "unit": "accesses",
+            "repetitions": 1,
+        }
+
+    def test_no_absolute_timestamps_anywhere(self):
+        # No field of the payload may encode wall-clock epoch time; a
+        # 2001+ epoch second is > 1e9, far above any duration/op count
+        # except the deliberate ops fields.
+        payload = _tiny_suite(names=["lru_access"])
+        text = json.dumps(comparison_payload(payload))
+        assert "time" not in text and "date" not in text
+        for value in comparison_payload(payload)["benchmarks"]["lru_access"].values():
+            if isinstance(value, (int, float)):
+                assert value < 1e9
+
+    def test_quick_and_full_modes_differ(self):
+        quick = _tiny_suite(names=["lru_access"])
+        full = run_suite(
+            quick=False, repetitions=1, ops_scale=SCALE, names=["lru_access"]
+        )
+        assert quick["mode"] == "quick" and full["mode"] == "full"
+        assert (
+            quick["benchmarks"]["lru_access"]["ops"]
+            < full["benchmarks"]["lru_access"]["ops"]
+        )
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            run_suite(names=["nope"], ops_scale=SCALE, repetitions=1)
+
+    def test_registry_contents(self):
+        assert benchmark_names() == [
+            "lru_access", "nucache_access", "nextuse_update", "fig5_sim",
+        ]
+
+
+class TestCompareExitCodes:
+    def _payload(self):
+        return _tiny_suite(names=["lru_access", "nextuse_update"])
+
+    def test_self_compare_is_ok(self):
+        payload = self._payload()
+        report = compare_payloads(payload, payload, 0.15)
+        assert report.exit_code == EXIT_OK
+        assert not any(row.regressed for row in report.rows)
+
+    def test_regression_detected(self):
+        baseline = self._payload()
+        candidate = copy.deepcopy(baseline)
+        entry = candidate["benchmarks"]["lru_access"]
+        entry["ops_per_sec"] = entry["ops_per_sec"] * 0.5  # 50% slower
+        report = compare_payloads(baseline, candidate, 0.15)
+        assert report.exit_code == EXIT_REGRESSION
+        assert [row.name for row in report.rows if row.regressed] == ["lru_access"]
+
+    def test_speedup_never_fails(self):
+        baseline = self._payload()
+        candidate = copy.deepcopy(baseline)
+        for entry in candidate["benchmarks"].values():
+            entry["ops_per_sec"] *= 10.0
+        assert compare_payloads(baseline, candidate, 0.15).exit_code == EXIT_OK
+
+    def test_within_threshold_ok(self):
+        baseline = self._payload()
+        candidate = copy.deepcopy(baseline)
+        entry = candidate["benchmarks"]["lru_access"]
+        entry["ops_per_sec"] *= 0.9  # 10% slower, 15% allowed
+        assert compare_payloads(baseline, candidate, 0.15).exit_code == EXIT_OK
+
+    def test_schema_version_mismatch(self):
+        baseline = self._payload()
+        candidate = copy.deepcopy(baseline)
+        candidate["schema_version"] = 99
+        report = compare_payloads(baseline, candidate, 0.15)
+        assert report.exit_code == EXIT_SCHEMA_MISMATCH
+        assert any("schema_version" in message for message in report.errors)
+
+    def test_mode_mismatch(self):
+        baseline = self._payload()
+        candidate = copy.deepcopy(baseline)
+        candidate["mode"] = "full"
+        assert compare_payloads(baseline, candidate).exit_code == EXIT_SCHEMA_MISMATCH
+
+    def test_benchmark_set_mismatch(self):
+        baseline = self._payload()
+        candidate = copy.deepcopy(baseline)
+        del candidate["benchmarks"]["lru_access"]
+        assert compare_payloads(baseline, candidate).exit_code == EXIT_SCHEMA_MISMATCH
+
+    def test_ops_mismatch_is_schema_error(self):
+        baseline = self._payload()
+        candidate = copy.deepcopy(baseline)
+        candidate["benchmarks"]["lru_access"]["ops"] += 1
+        report = compare_payloads(baseline, candidate)
+        assert report.exit_code == EXIT_SCHEMA_MISMATCH
+        assert any("ops mismatch" in message for message in report.errors)
+
+    def test_render_mentions_verdict(self):
+        payload = self._payload()
+        assert "OK" in compare_payloads(payload, payload).render()
+
+
+class TestThresholdParsing:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [("15%", 0.15), ("0.15", 0.15), ("40%", 0.40), ("0", 0.0), (" 5% ", 0.05)],
+    )
+    def test_accepted_forms(self, raw, expected):
+        assert parse_regress_threshold(raw) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("raw", ["", "abc", "150%", "1.5", "-10%"])
+    def test_rejected_forms(self, raw):
+        with pytest.raises(ValueError):
+            parse_regress_threshold(raw)
+
+
+class TestPayloadIO:
+    def test_save_load_round_trip(self, tmp_path):
+        payload = _tiny_suite(names=["nextuse_update"])
+        path = tmp_path / "BENCH_x.json"
+        save_payload(payload, str(path))
+        assert load_payload(str(path)) == payload
+
+    def test_load_rejects_non_object(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError, match="payload"):
+            load_payload(str(path))
+
+
+class TestBenchCLI:
+    def test_bench_run_and_compare_ok(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.setattr(
+            "repro.bench.suite.QUICK_REPETITIONS", 1, raising=True
+        )
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        assert main(["bench", "--quick", "--only", "nextuse_update",
+                     "-o", str(a)]) == 0
+        assert main(["bench", "run", "--quick", "--only", "nextuse_update",
+                     "-o", str(b)]) == 0
+        capsys.readouterr()
+        assert main(["bench", "compare", str(a), str(b),
+                     "--max-regress", "99%"]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "nextuse_update" in out and "OK" in out
+
+    def test_bench_compare_schema_mismatch_exit_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        payload = _tiny_suite(names=["nextuse_update"])
+        save_payload(payload, str(a))
+        bad = copy.deepcopy(payload)
+        bad["schema_version"] = 99
+        save_payload(bad, str(b))
+        assert main(["bench", "compare", str(a), str(b)]) == EXIT_SCHEMA_MISMATCH
+
+    def test_bench_compare_missing_file_exit_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["bench", "compare", str(tmp_path / "no.json"),
+                     str(tmp_path / "pe.json")]) == 2
+
+    def test_bench_unknown_only_exit_2(self, capsys):
+        from repro.cli import main
+
+        assert main(["bench", "--quick", "--only", "bogus"]) == 2

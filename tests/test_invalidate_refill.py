@@ -1,0 +1,191 @@
+"""Regression tests for the invalidate → free-way-refill contract.
+
+``CacheSet.allocate`` calls ``policy.insert`` after *every* fill — even
+when the slot came from ``_free_ways`` (a way released by an explicit
+``invalidate``) rather than from ``policy.victim``.  The policy is never
+told "this fill landed on an invalid way", so the contract is only sound
+if ``policy.invalidate(way)`` fully resets that way's per-policy state
+*before* the way enters the free list.  Otherwise state from the
+previous occupant leaks into the next fill: SHiP/SDBP would double-train
+their predictors on the dead line, SRRIP would inherit a stale RRPV,
+recency stacks would mis-order.
+
+The audit (PR 4) found every shipped policy resets correctly; these
+tests pin that so a future policy (or a refactor of the insert path)
+cannot silently regress it.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.replacement.base import ReplacementPolicy
+from repro.cache.replacement.basic import LRUPolicy
+from repro.cache.replacement.deadblock import DeadBlockPredictor, SDBPPolicy
+from repro.cache.replacement.rrip import SRRIPPolicy
+from repro.cache.replacement.ship import SHiPPolicy, SignatureHitCounterTable
+from repro.cache.replacement.dip import dip_factory
+from repro.cache.set_ import CacheSet
+from repro.common.config import CacheGeometry
+
+
+class SpyPolicy(ReplacementPolicy):
+    """Records the exact call sequence the set makes on the policy."""
+
+    name = "spy"
+
+    def __init__(self, ways: int) -> None:
+        super().__init__(ways)
+        self.calls: List[tuple] = []
+
+    def touch(self, way: int, core: int) -> None:
+        self.calls.append(("touch", way))
+
+    def victim(self) -> int:
+        self.calls.append(("victim", 0))
+        return 0
+
+    def insert(self, way: int, core: int, pc: int = 0) -> None:
+        self.calls.append(("insert", way))
+
+    def invalidate(self, way: int) -> None:
+        self.calls.append(("invalidate", way))
+
+
+class TestInsertContract:
+    """insert fires on every fill; invalidate precedes the way's reuse."""
+
+    def test_insert_called_on_free_way_fill(self):
+        spy = SpyPolicy(2)
+        cache_set = CacheSet(2, spy)
+        cache_set.allocate(1, 0, 0, False)
+        filled = cache_set.find(1)
+        assert ("insert", filled) in spy.calls
+        assert ("victim", 0) not in spy.calls
+
+    def test_invalidate_reaches_policy_before_refill(self):
+        spy = SpyPolicy(2)
+        cache_set = CacheSet(2, spy)
+        cache_set.allocate(1, 0, 0, False)
+        cache_set.allocate(2, 0, 0, False)
+        freed = cache_set.find(1)
+        spy.calls.clear()
+        cache_set.invalidate(1)
+        cache_set.allocate(3, 0, 0, False)
+        # The freed way is reused by the next fill, and the policy saw
+        # invalidate(way) strictly before insert(way).
+        assert spy.calls == [("invalidate", freed), ("insert", freed)]
+        assert cache_set.find(3) == freed
+
+    def test_victim_not_consulted_while_free_ways_exist(self):
+        spy = SpyPolicy(2)
+        cache_set = CacheSet(2, spy)
+        cache_set.allocate(1, 0, 0, False)
+        cache_set.allocate(2, 0, 0, False)
+        cache_set.invalidate(2)
+        spy.calls.clear()
+        cache_set.allocate(3, 0, 0, False)
+        assert ("victim", 0) not in spy.calls
+
+
+class TestSRRIPInvalidateReset:
+    def test_refill_after_invalidate_gets_fresh_rrpv(self):
+        policy = SRRIPPolicy(4)
+        cache_set = CacheSet(4, policy)
+        for tag in range(4):
+            cache_set.allocate(tag, 0, 0, False)
+        way = cache_set.find(2)
+        cache_set.touch(way, 0, False)          # rrpv -> 0 (hot line)
+        assert policy.rrpv[way] == 0
+        cache_set.invalidate(2)
+        # invalidate must mark the way distant, not leave the hot rrpv.
+        assert policy.rrpv[way] == policy.max_rrpv
+        cache_set.allocate(9, 0, 0, False)      # refills the freed way
+        assert cache_set.find(9) == way
+        # Insertion rrpv is exactly what a never-used way would get.
+        assert policy.rrpv[way] == policy.max_rrpv - 1
+
+
+class TestSHiPInvalidateReset:
+    def _set(self):
+        shct = SignatureHitCounterTable()
+        policy = SHiPPolicy(4, shct)
+        return CacheSet(4, policy), policy, shct
+
+    def test_dead_line_trains_once_not_twice(self):
+        cache_set, policy, shct = self._set()
+        signature = shct.index_of(0, 0x40)
+        other = shct.index_of(0, 0x80)
+        assert other != signature            # distinct SHCT entries
+        # Lifetime 1: reused line raises the PC's counter (1 -> 2) and
+        # its invalidation does not train dead (it was reused).
+        cache_set.allocate(1, 0, pc=0x40, is_write=False)
+        cache_set.touch(cache_set.find(1), 0, False)
+        cache_set.invalidate(1)
+        assert shct.value(signature) == 2
+        # Lifetime 2: a never-reused line of the same PC dies exactly
+        # once (2 -> 1) when invalidated...
+        cache_set.allocate(2, 0, pc=0x40, is_write=False)
+        cache_set.invalidate(2)
+        assert shct.value(signature) == 1
+        # ...and refilling the freed way with another PC must NOT train
+        # the stale signature again (a leak would give 0 here).
+        cache_set.allocate(3, 0, pc=0x80, is_write=False)
+        assert shct.value(signature) == 1
+
+    def test_way_state_fully_cleared(self):
+        cache_set, policy, _ = self._set()
+        cache_set.allocate(1, 0, pc=0x40, is_write=False)
+        way = cache_set.find(1)
+        cache_set.invalidate(1)
+        assert policy._signature[way] == -1
+        assert policy._occupied[way] is False
+        assert policy._reused[way] is False
+
+
+class TestSDBPInvalidateReset:
+    def test_refill_does_not_train_stale_signature(self):
+        predictor = DeadBlockPredictor()
+        policy = SDBPPolicy(4, predictor)
+        cache_set = CacheSet(4, policy)
+        cache_set.allocate(1, 0, pc=0x40, is_write=False)
+        way = cache_set.find(1)
+        cache_set.invalidate(1)
+        assert policy._signature[way] == -1
+        assert policy._occupied[way] is False
+        signature = predictor.index_of(0, 0x40)
+        counter_after_invalidate = predictor._counters[signature]
+        cache_set.allocate(2, 0, pc=0x80, is_write=False)
+        # A stale signature would have trained "dead" again on refill.
+        assert predictor._counters[signature] == counter_after_invalidate
+
+
+class TestRecencyStackInvalidate:
+    def test_lru_invalidated_way_demoted_then_refilled_at_mru(self):
+        policy = LRUPolicy(4)
+        cache_set = CacheSet(4, policy)
+        for tag in range(4):
+            cache_set.allocate(tag, 0, 0, False)
+        way = cache_set.find(1)
+        cache_set.invalidate(1)
+        assert policy.stack[-1] == way       # demoted straight to LRU
+        cache_set.allocate(9, 0, 0, False)
+        assert cache_set.find(9) == way      # free way reused...
+        assert policy.stack[0] == way        # ...and inserted at MRU
+
+    def test_dip_full_cache_invalidate_refill_consistent(self):
+        geometry = CacheGeometry(size_bytes=4 * 4 * 64, block_bytes=64, ways=4)
+        cache = SetAssociativeCache(geometry, dip_factory(), "dip")
+        for block in range(64):
+            cache.access(block, 0, 0, False)
+        # Invalidate whichever block is resident in set 0 right now.
+        target_set = cache.set_of(0)
+        resident_tag = next(iter(target_set._tag_to_way))
+        assert cache.invalidate(resident_tag << 2)
+        freed = [w for w in range(4) if not target_set.lines[w].valid]
+        assert len(freed) == 1
+        cache.access(100 << 2, 0, 0, False)  # set 0, fresh tag 100
+        stack = target_set.policy.stack
+        assert sorted(stack) == [0, 1, 2, 3]  # stack stays a permutation
+        assert target_set.find(100) == freed[0]

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Re-bless the committed performance baseline (``BENCH_baseline.json``).
+
+One command::
+
+    PYTHONPATH=src python tools/bless_baseline.py
+
+Runs the benchmark suite in **quick** mode (the mode CI's ``perf-smoke``
+job runs, so the two payloads stay comparable — the comparator refuses
+cross-mode comparisons) and writes the payload to the repo root.  Commit
+the refreshed file together with the change that legitimately moved the
+numbers; see ``docs/benchmarking.md`` for when re-blessing is the right
+response to a failing gate.
+
+Options mirror the CLI: ``--full`` blesses a full-mode baseline instead
+(only useful if CI is switched to full mode too), ``--repetitions K``
+overrides the median-of-k count, ``--output PATH`` redirects the file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def main(argv=None) -> int:
+    """Run the suite and write the blessed baseline payload."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.bench import run_suite, save_payload
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--full", action="store_true",
+        help="bless a full-mode baseline (CI's perf-smoke runs quick mode)",
+    )
+    parser.add_argument(
+        "--repetitions", type=int, default=None, metavar="K",
+        help="median-of-K repetitions (default: 3 quick / 5 full)",
+    )
+    parser.add_argument(
+        "--output", default=str(REPO_ROOT / "BENCH_baseline.json"),
+        metavar="PATH", help="where to write the payload (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_suite(
+        quick=not args.full,
+        repetitions=args.repetitions,
+        progress=lambda name: print(f"[bless] running {name}...", file=sys.stderr),
+    )
+    save_payload(payload, args.output)
+    for name, entry in payload["benchmarks"].items():
+        print(f"{name:<16} {entry['ops_per_sec']:>14,.0f} {entry['unit']}/s")
+    print(f"blessed {args.output} ({payload['mode']} mode)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
