@@ -1,0 +1,52 @@
+"""Self-checking layer: invariant sanitizer, differential oracle, fuzzer.
+
+Three lines of defense against silent state corruption in the optimized
+cache kernel (see docs/checking.md):
+
+* :mod:`repro.check.invariants` — structural invariant checkers over
+  every shipped LLC organization, wired into the engine at a cadence
+  chosen by the ``REPRO_CHECK`` environment variable;
+* :mod:`repro.check.oracle` — deliberately slow dict-based reference
+  models run in lockstep against the optimized kernel, diffing hit/miss
+  outcomes, victim choice and set contents after every access;
+* :mod:`repro.check.fuzz` — a deterministic fuzz harness (also the
+  ``nucache-repro check`` CLI subcommand) driving seeded random streams
+  across policy × geometry × DeliWay-split grids, shrinking failures to
+  minimal reproducers.
+"""
+
+from repro.check.invariants import (
+    CHECK_ENV_VAR,
+    MODE_ACCESS,
+    MODE_EPOCH,
+    MODE_OFF,
+    MODES,
+    EngineChecker,
+    assert_llc,
+    check_llc,
+    current_mode,
+    engine_checker,
+    snapshot_llc,
+)
+from repro.check.oracle import DifferentialHarness, make_reference
+from repro.check.fuzz import FuzzCase, default_grid, run_case, run_check
+
+__all__ = [
+    "CHECK_ENV_VAR",
+    "MODES",
+    "MODE_OFF",
+    "MODE_EPOCH",
+    "MODE_ACCESS",
+    "EngineChecker",
+    "assert_llc",
+    "check_llc",
+    "current_mode",
+    "engine_checker",
+    "snapshot_llc",
+    "DifferentialHarness",
+    "make_reference",
+    "FuzzCase",
+    "default_grid",
+    "run_case",
+    "run_check",
+]

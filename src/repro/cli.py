@@ -15,6 +15,8 @@ Subcommands::
     nucache-repro sim --mix mix4_1 --policy nucache   # one simulation
     nucache-repro cache stats                         # result-store report
     nucache-repro cache prune --keep 1000             # trim the store
+    nucache-repro check --quick                       # oracle fuzz sweep (CI)
+    nucache-repro check --replay <file>               # replay a reproducer
     nucache-repro characterize art_like               # reuse-distance report
     nucache-repro trace art_like -o art.trace         # export a trace
     nucache-repro bench --quick -o BENCH_now.json     # perf benchmarks
@@ -52,7 +54,7 @@ import os
 import sys
 from typing import List, Optional
 
-from repro.common.errors import ExecError, RunInterrupted
+from repro.common.errors import ExecError, ReproError, RunInterrupted
 from repro.common.rng import DEFAULT_SEED
 from repro.exec import ResultStore, RunJournal
 from repro.exec import context as exec_context
@@ -252,6 +254,32 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_failed_outcome(key: str, outcome: dict) -> None:
+    """Render one failed job's journaled forensics for ``runs show``.
+
+    Prints the short error first, then the preserved worker traceback,
+    any violated invariants, and a bounded rendering of the state
+    snapshot an :class:`~repro.common.errors.InvariantViolation`
+    carried — everything the scheduler's ``_record_outcome`` persisted.
+    """
+    import json as json_mod
+
+    print(f"      failed {key[:12]} [{outcome.get('label')}] after "
+          f"{outcome.get('attempts')} attempt(s): {outcome.get('error')}")
+    for violation in outcome.get("violations") or []:
+        print(f"        violated: {violation}")
+    traceback_text = outcome.get("traceback")
+    if traceback_text:
+        for line in str(traceback_text).rstrip().splitlines():
+            print(f"        | {line}")
+    snapshot = outcome.get("snapshot")
+    if snapshot:
+        rendered = json_mod.dumps(snapshot, sort_keys=True)
+        if len(rendered) > 2000:
+            rendered = rendered[:2000] + f"... ({len(rendered)} chars total)"
+        print(f"        snapshot: {rendered}")
+
+
 def _cmd_runs(args: argparse.Namespace) -> int:
     if args.action == "list":
         summaries = run_journal.list_runs()
@@ -299,6 +327,10 @@ def _cmd_runs(args: argparse.Namespace) -> int:
                   f"{report.get('completed', 0)} computed, "
                   f"{report.get('cached', 0)} cached, "
                   f"{report.get('failed', 0)} failed of {report.get('total', 0)}")
+            for key, outcome in (record.get("outcomes") or {}).items():
+                if not isinstance(outcome, dict) or outcome.get("status") != "failed":
+                    continue
+                _print_failed_outcome(str(key), outcome)
         elif kind == "experiment_end":
             line = f"  {record.get('experiment')}: {record.get('status')}"
             if record.get("elapsed") is not None:
@@ -427,6 +459,56 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         save_payload(payload, args.output)
         print(f"[bench] payload written to {args.output}", file=sys.stderr)
     return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.check.fuzz import load_reproducer, replay_stream, run_check
+
+    if args.replay:
+        try:
+            case, stream, corrupt_after = load_reproducer(args.replay)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"replaying {len(stream)}-access reproducer: {case.describe()}")
+        outcome = replay_stream(case, stream, corrupt_after)
+        if outcome is None:
+            print("replay completed cleanly (violation did not reproduce)")
+            return 0
+        violation, index = outcome
+        print(f"violation reproduced at access {index}:")
+        for line in violation.violations or [str(violation)]:
+            print(f"  {line}")
+        return 1
+
+    mode = "quick" if args.quick else "full"
+    forced = " (forcing one violation)" if args.force_violation else ""
+    print(f"check: {mode} grid, seed {args.seed}{forced}", file=sys.stderr)
+    report = run_check(
+        quick=args.quick,
+        seed=args.seed,
+        policies=args.policies,
+        accesses=args.accesses,
+        force_violation=args.force_violation,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    if report.ok:
+        print(f"check: {report.cases} cases, all clean")
+        return 0
+    print(f"check: {report.cases} cases, {len(report.failures)} DIVERGED")
+    for failure in report.failures:
+        print(f"  {failure.case.describe()} at access {failure.access_index}")
+        for line in failure.violation.violations[:4]:
+            print(f"    {line}")
+        if failure.reproducer_path is not None:
+            print(f"    reproducer: {failure.reproducer_path}")
+    print("replay one with: nucache-repro check --replay <reproducer>")
+    # A forced violation proves the pipeline; exactly one is the
+    # expected (successful) outcome.
+    if args.force_violation and len(report.failures) == 1:
+        print("forced violation detected as expected")
+        return 0
+    return 1
 
 
 def _positive_int(raw: str) -> int:
@@ -570,6 +652,37 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.set_defaults(func=_cmd_bench)
     bench_run.set_defaults(func=_cmd_bench)
     bench_compare.set_defaults(func=_cmd_bench)
+
+    check_parser = subparsers.add_parser(
+        "check",
+        help="fuzz the optimized cache kernel against the reference oracle",
+    )
+    check_parser.add_argument(
+        "--quick", action="store_true",
+        help="bounded grid for CI: fewer geometries, shorter streams",
+    )
+    check_parser.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED,
+        help="root RNG seed for the fuzz streams (default: %(default)s)",
+    )
+    check_parser.add_argument(
+        "--policies", nargs="+", default=None, metavar="POLICY",
+        help="restrict the grid to these policies (default: the full family set)",
+    )
+    check_parser.add_argument(
+        "--accesses", type=_positive_int, default=None, metavar="N",
+        help="accesses per stream (default: 1200 quick / 4000 full)",
+    )
+    check_parser.add_argument(
+        "--force-violation", action="store_true",
+        help="corrupt the first case mid-stream to prove the "
+        "detect/shrink/reproduce pipeline end-to-end",
+    )
+    check_parser.add_argument(
+        "--replay", default=None, metavar="PATH",
+        help="replay a reproducer file written by a previous failing check",
+    )
+    check_parser.set_defaults(func=_cmd_check)
 
     char_parser = subparsers.add_parser(
         "characterize", help="reuse-distance characterization of a benchmark"

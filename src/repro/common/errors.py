@@ -34,6 +34,54 @@ class SimulationError(ReproError):
     """
 
 
+class InvariantViolation(SimulationError):
+    """A runtime structural invariant of the cache model was violated.
+
+    Raised by the :mod:`repro.check` sanitizer and the differential
+    oracle.  Besides the message it carries the full list of violated
+    invariants and a JSON-serializable *snapshot* of the offending
+    structure state, so a postmortem (or the journal, via the exec
+    layer) can show exactly what the cache looked like at the moment of
+    the violation rather than just a one-line summary.
+
+    Attributes:
+        violations: every violated invariant, as human-readable strings.
+        snapshot: serialized state of the structures under check
+            (set contents, recency stacks, counters, ...).
+        context: where the violation was detected (e.g. ``"engine
+            step 4096"`` or ``"fuzz access 17"``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        violations=None,
+        snapshot=None,
+        context: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.violations = list(violations or [])
+        self.snapshot = dict(snapshot or {})
+        self.context = context
+
+    def __reduce__(self):
+        """Pickle support: keep violations/snapshot across process pools."""
+        return (
+            type(self),
+            (self.args[0] if self.args else "", self.violations,
+             self.snapshot, self.context),
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation (journals, reproducer files)."""
+        return {
+            "message": self.args[0] if self.args else "",
+            "violations": list(self.violations),
+            "snapshot": self.snapshot,
+            "context": self.context,
+        }
+
+
 class WorkloadError(ReproError):
     """A workload or mix was requested that the catalog does not define."""
 

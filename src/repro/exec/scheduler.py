@@ -41,6 +41,7 @@ from __future__ import annotations
 import signal
 import threading
 import time
+import traceback as traceback_module
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
@@ -119,6 +120,21 @@ def _report_fields(report: "BatchReport") -> Dict[str, object]:
     }
 
 
+def _format_error(exc: BaseException) -> str:
+    """Full traceback text of an exception, worker frames included.
+
+    ``concurrent.futures`` re-raises worker exceptions in the parent
+    with the worker-side traceback attached as the ``__cause__`` chain
+    (``_RemoteTraceback``), and :func:`traceback.format_exception`
+    renders that chain — so the string a pooled job records is the same
+    one an inline job would have produced, which is what the journal and
+    ``runs show`` need for postmortems.
+    """
+    return "".join(
+        traceback_module.format_exception(type(exc), exc, exc.__traceback__)
+    )
+
+
 @dataclass
 class _JobState:
     """Bookkeeping for one unique job within a batch."""
@@ -128,6 +144,14 @@ class _JobState:
     attempts: int = 0
     error: Optional[str] = None
     timings: List[float] = field(default_factory=list)
+    #: Full traceback of the last raised exception (None for failures
+    #: that raise nothing, e.g. timeouts and result-validation refusals).
+    traceback: Optional[str] = None
+    #: Violated invariants / state snapshot carried by an
+    #: :class:`~repro.common.errors.InvariantViolation`, when that is
+    #: what the job died of.
+    violations: Optional[List[str]] = None
+    snapshot: Optional[Dict[str, object]] = None
 
 
 class _Interrupted(Exception):
@@ -248,6 +272,18 @@ class Scheduler:
             # `runs show <id> --timings` renders these from the journal.
             "timings": [round(elapsed, 6) for elapsed in state.timings],
         }
+        # Failure forensics — only for jobs that actually ended failed
+        # (a retried-then-recovered job's old traceback is noise), and
+        # only the keys with content, so healthy journals stay compact.
+        if status != "failed":
+            return
+        outcome = self.last_outcomes[state.job.key()]
+        if state.traceback:
+            outcome["traceback"] = state.traceback
+        if state.violations:
+            outcome["violations"] = list(state.violations)
+        if state.snapshot:
+            outcome["snapshot"] = state.snapshot
 
     # ------------------------------------------------------------------
     # Interrupt plumbing
@@ -464,10 +500,16 @@ class Scheduler:
             details = "; ".join(
                 f"{state.job.describe()}: {state.error}" for state in failures[:5]
             )
-            raise ExecError(
+            message = (
                 f"{report.failed} of {report.total} jobs failed after "
                 f"{self.retries} retries — {details}"
             )
+            first_traceback = next(
+                (state.traceback for state in failures if state.traceback), None
+            )
+            if first_traceback:
+                message += "\nfirst failure traceback:\n" + first_traceback
+            raise ExecError(message)
         return results
 
     # ------------------------------------------------------------------
@@ -482,6 +524,23 @@ class Scheduler:
         state.error = error
         state.timings.append(elapsed)
         return state.attempts <= self.retries
+
+    @staticmethod
+    def _note_exception(state: _JobState, exc: BaseException) -> None:
+        """Preserve an attempt's full traceback (and any invariant payload).
+
+        Called for exceptions the job itself raised; timeout/crash paths
+        have no traceback worth keeping.  An
+        :class:`~repro.common.errors.InvariantViolation` additionally
+        contributes its violation list and state snapshot, so the
+        journal records *what* the cache looked like, not just that a
+        check fired.
+        """
+        state.traceback = _format_error(exc)
+        violations = getattr(exc, "violations", None)
+        state.violations = list(violations) if violations else None
+        snapshot = getattr(exc, "snapshot", None)
+        state.snapshot = dict(snapshot) if snapshot else None
 
     def _accept(self, state: _JobState, result: SimResult) -> Optional[str]:
         """Invariant-check a fresh result; returns the violation, if any."""
@@ -503,6 +562,7 @@ class Scheduler:
                 result = self.execute(state.job)
             except Exception as exc:  # noqa: BLE001 — converted to job failure
                 elapsed = time.monotonic() - attempt_started
+                self._note_exception(state, exc)
                 (retry if self._charge(state, repr(exc), elapsed) else failed).append(
                     state
                 )
@@ -578,6 +638,7 @@ class Scheduler:
                         failed.append(state)
                     continue
                 except Exception as exc:  # noqa: BLE001 — converted to job failure
+                    self._note_exception(state, exc)
                     (
                         retry
                         if self._charge(state, repr(exc), elapsed())

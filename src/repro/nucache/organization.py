@@ -31,15 +31,26 @@ from repro.nucache.controller import NUcacheController, PCKey
 
 
 class _DeliEntry:
-    """A line resident in the DeliWays (tag is the OrderedDict key)."""
+    """A line resident in the DeliWays (tag is the OrderedDict key).
 
-    __slots__ = ("core", "pc", "pc_slot", "dirty")
+    ``seq`` is the global retention sequence number assigned when the
+    line entered the DeliWays.  Under the paper's FIFO replacement the
+    entries of a set are therefore strictly increasing in ``seq`` — an
+    invariant :mod:`repro.check.invariants` verifies (the ``lru``
+    ablation re-inserts hit entries at MRU, which legitimately breaks
+    the ordering, so the check is FIFO-mode only).
+    """
 
-    def __init__(self, core: int, pc: int, pc_slot: int, dirty: bool) -> None:
+    __slots__ = ("core", "pc", "pc_slot", "dirty", "seq")
+
+    def __init__(
+        self, core: int, pc: int, pc_slot: int, dirty: bool, seq: int = 0
+    ) -> None:
         self.core = core
         self.pc = pc
         self.pc_slot = pc_slot
         self.dirty = dirty
+        self.seq = seq
 
 
 class _NUcacheSet:
@@ -89,6 +100,10 @@ class NUCache(LastLevelCache):
         #: the ``deli_replacement="lru"`` ablation, which refreshes the
         #: line in place instead).
         self.promotions = 0
+        #: Retained lines pushed out by DeliWay FIFO overflow.  Closes
+        #: the retention conservation law the sanitizer checks:
+        #: ``retentions == promotions + deli_evictions + resident``.
+        self.deli_evictions = 0
 
     # ------------------------------------------------------------------
     # LastLevelCache interface
@@ -173,6 +188,7 @@ class NUCache(LastLevelCache):
         counters["deli_hits"] = self.deli_hits
         counters["retentions"] = self.retentions
         counters["promotions"] = self.promotions
+        counters["deli_evictions"] = self.deli_evictions
         counters["epochs"] = self.controller.epochs_completed
         return counters
 
@@ -209,11 +225,13 @@ class NUCache(LastLevelCache):
         self.controller.on_main_eviction(set_index, victim_addr, victim.pc_slot)
         if self.deli_ways > 0 and self.controller.is_selected(victim.pc_slot):
             nu_set.deli[victim.tag] = _DeliEntry(
-                victim.core, victim.pc, victim.pc_slot, victim.dirty
+                victim.core, victim.pc, victim.pc_slot, victim.dirty,
+                seq=self.retentions,
             )
             self.retentions += 1
             if len(nu_set.deli) > self.deli_ways:
                 _old_tag, old_entry = nu_set.deli.popitem(last=False)
+                self.deli_evictions += 1
                 self._count_eviction(old_entry.dirty)
         else:
             self._count_eviction(victim.dirty)

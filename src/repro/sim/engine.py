@@ -187,11 +187,21 @@ class MulticoreEngine:
         with tracing disabled ``observer`` is ``None`` and the loop pays
         one predicate per step.
 
+        When invariant checking is enabled (``REPRO_CHECK=epoch`` or
+        ``access``, see :mod:`repro.check.invariants`), the LLC's
+        structural invariants are sanitized at the configured cadence
+        and a violation raises
+        :class:`~repro.common.errors.InvariantViolation`.  The checker
+        is read-only too, so a checked run's results stay byte-identical
+        to an unchecked one; with ``REPRO_CHECK=off`` (the default)
+        ``checker`` is ``None`` and the fast loop is untouched.
+
         Args:
             max_steps: safety valve for tests; ``None`` means run to
                 completion (guaranteed to terminate since every step
                 advances some core's cursor).
         """
+        from repro.check.invariants import engine_checker
         from repro.obs.trace import active_tracer
 
         cores = self.cores
@@ -199,8 +209,9 @@ class MulticoreEngine:
         memory = self.memory
         tracer = active_tracer()
         observer = None if tracer is None else _EngineObserver(self, tracer)
+        checker = engine_checker(llc)
         pending = [core for core in cores if not core.first_pass_done]
-        if observer is None and max_steps is None:
+        if observer is None and checker is None and max_steps is None:
             # Fast loop: no per-step observer/max_steps predicates, and
             # a lone pending core (every single-core run; the tail of
             # every multicore run) steps without the min() scan.  Step
@@ -227,10 +238,14 @@ class MulticoreEngine:
             steps += 1
             if observer is not None:
                 observer.after_step(runner, steps)
+            if checker is not None:
+                checker.after_step(steps)
             if max_steps is not None and steps >= max_steps:
                 break
         if observer is not None:
             observer.finish(steps)
+        if checker is not None:
+            checker.finish(steps)
         return self._collect()
 
     def _collect(self) -> SimResult:

@@ -57,39 +57,44 @@ def load_text(path: Union[str, Path], name: str = "") -> Trace:
     addresses: List[int] = []
     pcs: List[int] = []
     writes: List[bool] = []
-    with path.open("r", encoding="utf-8") as handle:
-        for line_number, raw in enumerate(handle, start=1):
-            line = raw.strip()
-            if not line:
-                continue
-            if line.startswith("#"):
-                body = line[1:].strip()
-                if body.startswith("name:"):
-                    header_name = body[len("name:"):].strip()
-                elif body.startswith("instruction_gap:"):
-                    try:
-                        gap = int(body[len("instruction_gap:"):].strip())
-                    except ValueError:
-                        raise TraceError(
-                            f"{path}:{line_number}: bad instruction_gap header"
-                        ) from None
-                continue
-            parts = line.split()
-            if len(parts) != 3:
-                raise TraceError(
-                    f"{path}:{line_number}: expected 'R|W addr pc', got {line!r}"
-                )
-            op, addr_text, pc_text = parts
-            if op not in ("R", "W", "r", "w"):
-                raise TraceError(f"{path}:{line_number}: bad op {op!r}")
-            try:
-                addresses.append(int(addr_text, 0))
-                pcs.append(int(pc_text, 0))
-            except ValueError:
-                raise TraceError(
-                    f"{path}:{line_number}: bad address or pc in {line!r}"
-                ) from None
-            writes.append(op in ("W", "w"))
+    try:
+        content = path.read_text(encoding="utf-8")
+    except UnicodeDecodeError as exc:
+        raise TraceError(
+            f"{path}: not a text trace (invalid UTF-8 at byte {exc.start})"
+        ) from exc
+    for line_number, raw in enumerate(content.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            body = line[1:].strip()
+            if body.startswith("name:"):
+                header_name = body[len("name:"):].strip()
+            elif body.startswith("instruction_gap:"):
+                try:
+                    gap = int(body[len("instruction_gap:"):].strip())
+                except ValueError:
+                    raise TraceError(
+                        f"{path}:{line_number}: bad instruction_gap header"
+                    ) from None
+            continue
+        parts = line.split()
+        if len(parts) != 3:
+            raise TraceError(
+                f"{path}:{line_number}: expected 'R|W addr pc', got {line!r}"
+            )
+        op, addr_text, pc_text = parts
+        if op not in ("R", "W", "r", "w"):
+            raise TraceError(f"{path}:{line_number}: bad op {op!r}")
+        try:
+            addresses.append(int(addr_text, 0))
+            pcs.append(int(pc_text, 0))
+        except ValueError:
+            raise TraceError(
+                f"{path}:{line_number}: bad address or pc in {line!r}"
+            ) from None
+        writes.append(op in ("W", "w"))
     if not addresses:
         raise TraceError(f"{path}: no accesses found")
     return Trace(

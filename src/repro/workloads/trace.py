@@ -10,6 +10,7 @@ across experiments.
 
 from __future__ import annotations
 
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Union
@@ -120,20 +121,59 @@ class Trace:
             instruction_gap=np.array(self.instruction_gap),
         )
 
+    #: Arrays a saved trace file must contain (see :meth:`save`).
+    _FIELDS = ("name", "addresses", "pcs", "is_write", "instruction_gap")
+
     @classmethod
     def load(cls, path: Union[str, Path]) -> "Trace":
-        """Read a trace previously written by :meth:`save`."""
+        """Read a trace previously written by :meth:`save`.
+
+        Any way the file can be bad — missing, truncated, not an
+        ``.npz`` archive at all, missing one of the expected arrays, or
+        holding arrays that fail trace validation — raises
+        :class:`~repro.common.errors.TraceError` naming the file, never
+        a bare ``zipfile``/``ValueError``/``KeyError`` from the guts of
+        ``np.load``.
+        """
         path = Path(path)
         if not path.exists():
             raise TraceError(f"trace file not found: {path}")
-        with np.load(path, allow_pickle=False) as data:
-            return cls(
-                str(data["name"]),
-                data["addresses"],
-                data["pcs"],
-                data["is_write"],
-                int(data["instruction_gap"]),
-            )
+        try:
+            archive = np.load(path, allow_pickle=False)
+        except (ValueError, OSError, EOFError, zipfile.BadZipFile) as exc:
+            # np.load reports garbage input inconsistently across
+            # formats/versions: BadZipFile for corrupt archives,
+            # ValueError for non-npz bytes and pickle refusal, OSError/
+            # EOFError for truncation.
+            raise TraceError(
+                f"trace file {path} is not a readable trace archive: {exc}"
+            ) from exc
+        with archive as data:
+            missing = [field for field in cls._FIELDS if field not in data.files]
+            if missing:
+                raise TraceError(
+                    f"trace file {path} is missing field(s) "
+                    f"{', '.join(missing)} (has: {', '.join(data.files) or 'none'})"
+                )
+            try:
+                return cls(
+                    str(data["name"]),
+                    data["addresses"],
+                    data["pcs"],
+                    data["is_write"],
+                    int(data["instruction_gap"]),
+                )
+            except (ValueError, TypeError, OSError, EOFError,
+                    zipfile.BadZipFile) as exc:
+                # Member decompression is lazy: a truncated archive can
+                # list a field yet fail while inflating it; TypeError
+                # covers fields with the wrong shape (e.g. a vector
+                # where the scalar instruction_gap belongs).
+                raise TraceError(
+                    f"trace file {path} is corrupt: {exc}"
+                ) from exc
+            except TraceError as exc:
+                raise TraceError(f"trace file {path}: {exc}") from exc
 
     def describe(self, block_bytes: int = 64) -> str:
         """One-line human summary (used by the exploration example)."""

@@ -143,3 +143,73 @@ class TestNewSubcommands:
         from repro.workloads.trace import Trace
 
         assert len(Trace.load(out_file)) == 500
+
+
+class TestCheckSubcommand:
+    def test_parser_flags(self):
+        args = build_parser().parse_args(
+            ["check", "--quick", "--seed", "7", "--policies", "lru", "nucache",
+             "--accesses", "500", "--force-violation"]
+        )
+        assert args.quick and args.force_violation
+        assert args.seed == 7
+        assert args.policies == ["lru", "nucache"]
+        assert args.accesses == 500
+        assert args.replay is None
+
+    def test_clean_sweep_exits_zero(self, capsys):
+        assert main(["check", "--quick", "--policies", "lru",
+                     "--accesses", "300"]) == 0
+        captured = capsys.readouterr()
+        assert "all clean" in captured.out
+        assert "ok" in captured.err  # per-case progress goes to stderr
+
+    def test_forced_violation_round_trips(self, tmp_path, monkeypatch, capsys):
+        from repro.exec.store import STORE_ENV_VAR
+
+        monkeypatch.setenv(STORE_ENV_VAR, str(tmp_path))
+        assert main(["check", "--quick", "--policies", "nucache",
+                     "--accesses", "400", "--force-violation"]) == 0
+        out = capsys.readouterr().out
+        assert "DIVERGED" in out
+        assert "forced violation detected as expected" in out
+        (reproducer,) = (tmp_path / "check").glob("repro-*.json")
+
+        assert main(["check", "--replay", str(reproducer)]) == 1
+        assert "violation reproduced" in capsys.readouterr().out
+
+    def test_replay_unreadable_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{ nope")
+        assert main(["check", "--replay", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestFailedOutcomeRendering:
+    def test_renders_forensics(self, capsys):
+        from repro.cli import _print_failed_outcome
+
+        _print_failed_outcome("abcdef1234567890", {
+            "label": "sim hmmer_like lru",
+            "attempts": 2,
+            "error": "InvariantViolation('set 3: broken')",
+            "violations": ["set 3: broken"],
+            "traceback": "Traceback (most recent call last):\n  boom\n",
+            "snapshot": {"policy": "lru"},
+        })
+        out = capsys.readouterr().out
+        assert "failed abcdef123456" in out
+        assert "violated: set 3: broken" in out
+        assert "| Traceback" in out
+        assert '"policy": "lru"' in out
+
+    def test_compact_without_forensics(self, capsys):
+        from repro.cli import _print_failed_outcome
+
+        _print_failed_outcome("feedbeef", {
+            "label": "sim art_like lru", "attempts": 1, "error": "boom",
+        })
+        out = capsys.readouterr().out
+        assert "failed feedbeef" in out
+        assert "violated" not in out
+        assert "|" not in out

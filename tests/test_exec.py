@@ -425,6 +425,98 @@ class TestScheduler:
 
 
 # ----------------------------------------------------------------------
+# Failure forensics (traceback / invariant payload preservation)
+# ----------------------------------------------------------------------
+
+
+def _raise_value_error(job):
+    raise ValueError("boom-sentinel-1187")
+
+
+def _raise_invariant_violation(job):
+    from repro.common.errors import InvariantViolation
+
+    raise InvariantViolation(
+        "cache invariant violated at unit test: set 3: broken",
+        violations=["set 3: broken", "llc: hits drifted"],
+        snapshot={"policy": "lru", "counters": {"hits": 1}},
+    )
+
+
+class TestFailureForensics:
+    def test_inline_failure_preserves_traceback(self):
+        scheduler = Scheduler(jobs=1, retries=0, strict=False,
+                              execute=_raise_value_error)
+        scheduler.run([SimJob.single("hmmer_like", "lru", ACCESSES)])
+        (outcome,) = scheduler.last_outcomes.values()
+        assert outcome["status"] == "failed"
+        assert "ValueError: boom-sentinel-1187" in outcome["traceback"]
+        assert "_raise_value_error" in outcome["traceback"]  # worker frame
+
+    def test_invariant_payload_recorded(self):
+        scheduler = Scheduler(jobs=1, retries=0, strict=False,
+                              execute=_raise_invariant_violation)
+        scheduler.run([SimJob.single("hmmer_like", "lru", ACCESSES)])
+        (outcome,) = scheduler.last_outcomes.values()
+        assert outcome["violations"] == ["set 3: broken", "llc: hits drifted"]
+        assert outcome["snapshot"]["counters"] == {"hits": 1}
+
+    def test_forensics_survive_the_process_pool(self):
+        jobs = [
+            SimJob.single("hmmer_like", "lru", ACCESSES),
+            SimJob.single("art_like", "lru", ACCESSES),
+        ]
+        scheduler = Scheduler(jobs=2, retries=0, strict=False,
+                              execute=_raise_invariant_violation)
+        scheduler.run(jobs)
+        for job in jobs:
+            outcome = scheduler.last_outcomes[job.key()]
+            assert outcome["status"] == "failed"
+            # The worker-side frames come back through the
+            # _RemoteTraceback cause chain and must be in the string.
+            assert "InvariantViolation" in outcome["traceback"]
+            assert "_raise_invariant_violation" in outcome["traceback"]
+            assert outcome["violations"] == ["set 3: broken", "llc: hits drifted"]
+            assert outcome["snapshot"]["policy"] == "lru"
+
+    def test_recovered_job_carries_no_stale_forensics(self):
+        attempts = []
+
+        def flaky(job):
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise ValueError("transient-xyzzy")
+            return execute_job(job)
+
+        scheduler = Scheduler(jobs=1, retries=1, execute=flaky,
+                              backoff_base=0.001)
+        scheduler.run([SimJob.single("hmmer_like", "lru", ACCESSES)])
+        (outcome,) = scheduler.last_outcomes.values()
+        assert outcome["status"] == "completed"
+        assert "traceback" not in outcome
+        assert "violations" not in outcome
+
+    def test_strict_error_includes_first_traceback(self):
+        scheduler = Scheduler(jobs=1, retries=0, execute=_raise_value_error)
+        with pytest.raises(ExecError, match="first failure traceback"):
+            scheduler.run([SimJob.single("hmmer_like", "lru", ACCESSES)])
+        try:
+            scheduler = Scheduler(jobs=1, retries=0, execute=_raise_value_error)
+            scheduler.run([SimJob.single("hmmer_like", "lru", ACCESSES)])
+        except ExecError as exc:
+            assert "boom-sentinel-1187" in str(exc)
+
+    def test_plain_error_carries_no_snapshot(self):
+        # Only InvariantViolation contributes violations/snapshot keys;
+        # ordinary failures must stay compact in the journal.
+        scheduler = Scheduler(jobs=1, retries=0, strict=False,
+                              execute=_raise_value_error)
+        scheduler.run([SimJob.single("hmmer_like", "lru", ACCESSES)])
+        (outcome,) = scheduler.last_outcomes.values()
+        assert "snapshot" not in outcome  # plain errors carry no snapshot
+
+
+# ----------------------------------------------------------------------
 # Context defaults and store-backed alone_ipc
 # ----------------------------------------------------------------------
 

@@ -69,6 +69,24 @@ class TestTextRoundtrip:
         with pytest.raises(TraceError):
             load_text(path)
 
+    def test_rejects_binary_garbage(self, tmp_path):
+        path = tmp_path / "binary.txt"
+        path.write_bytes(b"\x80\x81\xfe R 0x40 0x1")
+        with pytest.raises(TraceError, match="not a text trace"):
+            load_text(path)
+
+    def test_errors_carry_file_and_line(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("R 0x40 0x1\nR zap 0x1\n")
+        with pytest.raises(TraceError, match=r"t\.txt:2"):
+            load_text(path)
+
+    def test_bad_gap_header_carries_line(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("# instruction_gap: many\nR 0x40 0x1\n")
+        with pytest.raises(TraceError, match=r"t\.txt:1"):
+            load_text(path)
+
 
 class TestWindow:
     def test_slices(self):

@@ -108,3 +108,59 @@ class TestSaveLoad:
     def test_load_missing_file(self, tmp_path):
         with pytest.raises(TraceError):
             Trace.load(tmp_path / "nope.npz")
+
+
+class TestCorruptFiles:
+    """Every way a trace file can be bad raises TraceError naming it."""
+
+    def test_garbage_bytes(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not an npz archive at all")
+        with pytest.raises(TraceError, match="garbage.npz"):
+            Trace.load(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        path.write_bytes(b"")
+        with pytest.raises(TraceError, match="empty.npz"):
+            Trace.load(path)
+
+    def test_truncated_archive(self, tmp_path):
+        path = tmp_path / "cut.npz"
+        make_trace(list(range(200))).save(path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 3])
+        with pytest.raises(TraceError, match="cut.npz"):
+            Trace.load(path)
+
+    def test_missing_fields(self, tmp_path):
+        path = tmp_path / "partial.npz"
+        np.savez(path, addresses=np.array([64], dtype=np.int64))
+        with pytest.raises(TraceError, match="missing field"):
+            Trace.load(path)
+
+    def test_wrong_shaped_field(self, tmp_path):
+        path = tmp_path / "shape.npz"
+        np.savez(
+            path,
+            name=np.array("t"),
+            addresses=np.array([64], dtype=np.int64),
+            pcs=np.array([0], dtype=np.int64),
+            is_write=np.array([False]),
+            instruction_gap=np.array([1, 2]),  # vector where a scalar belongs
+        )
+        with pytest.raises(TraceError, match="shape.npz"):
+            Trace.load(path)
+
+    def test_invalid_arrays_name_the_file(self, tmp_path):
+        path = tmp_path / "negative.npz"
+        np.savez(
+            path,
+            name=np.array("t"),
+            addresses=np.array([-64], dtype=np.int64),
+            pcs=np.array([0], dtype=np.int64),
+            is_write=np.array([False]),
+            instruction_gap=np.array(0),
+        )
+        with pytest.raises(TraceError, match="negative.npz"):
+            Trace.load(path)

@@ -28,7 +28,12 @@ from typing import Iterator, List, Tuple
 
 #: Defaults checked when no paths are given: the layers whose public
 #: APIs carry the documented execution/observability contracts.
-DEFAULT_PATHS = ("src/repro/bench", "src/repro/exec", "src/repro/obs")
+DEFAULT_PATHS = (
+    "src/repro/bench",
+    "src/repro/check",
+    "src/repro/exec",
+    "src/repro/obs",
+)
 
 
 def iter_python_files(paths: List[str]) -> Iterator[Path]:
