@@ -1,0 +1,105 @@
+"""Design-space exploration harness over the exec scheduler.
+
+``repro.explore`` searches the NUcache configuration space instead of
+hand-gridding it.  A declarative :class:`ParamSpace` (typed dimensions
+validated against the config layer) is bound to a workload by a
+:class:`Study`; pluggable :class:`SearchAlgorithm` drivers (seeded
+random, grid, hill-climb, GA) propose probe batches; the
+:class:`Evaluator` resolves each probe through
+:meth:`~repro.exec.scheduler.Scheduler.run` — content-addressed,
+cache-first, deduplicated, parallel, fault-tolerant, journaled; and
+:func:`run_search` orchestrates the loop, writes a deterministic
+``explore.json`` report, and supports journal-backed resume
+(:func:`resume_search`).  The CLI front end is
+``nucache-repro explore``; see ``docs/exploration.md``.
+"""
+
+from repro.explore.driver import (
+    DEFAULT_BUDGET,
+    ExploreOutcome,
+    default_report_dir,
+    load_search_settings,
+    resume_search,
+    run_search,
+)
+from repro.explore.evaluate import (
+    OBJECTIVES,
+    Evaluator,
+    Objective,
+    ProbeResult,
+    Study,
+    get_objective,
+    objective_names,
+)
+from repro.explore.report import (
+    REPORT_SCHEMA,
+    build_report,
+    load_report,
+    render_best_table,
+    render_report,
+    trajectory,
+    write_report,
+)
+from repro.explore.search import (
+    ALGORITHMS,
+    INVALID_SCORE,
+    GeneticSearch,
+    GridSearch,
+    HillClimb,
+    RandomSearch,
+    SearchAlgorithm,
+    algorithm_names,
+    drive,
+    make_algorithm,
+)
+from repro.explore.space import (
+    Dimension,
+    ExploreError,
+    ParamSpace,
+    choice,
+    int_range,
+    log_range,
+)
+from repro.explore.studies import STUDIES, get_study, study_names
+
+__all__ = [
+    "ALGORITHMS",
+    "DEFAULT_BUDGET",
+    "Dimension",
+    "Evaluator",
+    "ExploreError",
+    "ExploreOutcome",
+    "GeneticSearch",
+    "GridSearch",
+    "HillClimb",
+    "INVALID_SCORE",
+    "OBJECTIVES",
+    "Objective",
+    "ParamSpace",
+    "ProbeResult",
+    "REPORT_SCHEMA",
+    "RandomSearch",
+    "STUDIES",
+    "SearchAlgorithm",
+    "Study",
+    "algorithm_names",
+    "build_report",
+    "choice",
+    "default_report_dir",
+    "drive",
+    "get_objective",
+    "get_study",
+    "int_range",
+    "load_report",
+    "load_search_settings",
+    "log_range",
+    "make_algorithm",
+    "objective_names",
+    "render_best_table",
+    "render_report",
+    "resume_search",
+    "run_search",
+    "study_names",
+    "trajectory",
+    "write_report",
+]

@@ -1,0 +1,308 @@
+"""The probe-to-scheduler bridge: points become jobs, jobs become scores.
+
+A :class:`Study` binds a :class:`~repro.explore.space.ParamSpace` to a
+concrete workload (a mix, an LLC policy, a trace length) and an
+:class:`Objective`.  The :class:`Evaluator` turns each probe point into
+one or more :class:`~repro.exec.job.SimJob` specs and resolves them
+through the exec scheduler (:meth:`~repro.exec.scheduler.Scheduler.run`)
+— which is what makes every probe content-addressed, deduplicated
+within a batch, served from the persistent result store across batches
+and invocations, retried on faults, and recorded in the run journal.
+
+A weighted-speedup objective needs alone-run denominators; those jobs
+are identical for every probe of a study, so the first batch computes
+them once and every later probe is a store hit — the search only ever
+pays for configurations it has not seen.
+
+Objectives are registered in :data:`OBJECTIVES` with an explicit
+optimization direction; the driver normalizes scores so search
+algorithms always maximize (see :mod:`repro.explore.search`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import RunInterrupted
+from repro.common.rng import DEFAULT_SEED
+from repro.exec import SimJob
+from repro.exec import context as exec_context
+from repro.explore.space import ExploreError, ParamSpace, Point
+from repro.metrics.multicore import weighted_speedup
+from repro.sim.engine import SimResult
+from repro.workloads.mixes import mix_members
+
+
+@dataclass(frozen=True)
+class Objective:
+    """A named scalar figure of merit over one probe's simulation results.
+
+    Attributes:
+        name: registry name (``--objective``).
+        direction: ``"max"`` or ``"min"``.
+        needs_alone: whether the probe needs the alone-run denominator
+            jobs alongside the mix job (weighted speedup does).
+    """
+
+    name: str
+    direction: str
+    needs_alone: bool = False
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("max", "min"):
+            raise ExploreError(f"direction must be 'max' or 'min', got {self.direction!r}")
+
+    def value(self, mix_result: SimResult, alone_ipcs: Sequence[float]) -> float:
+        """Compute the objective from a probe's resolved results."""
+        if self.name == "ws":
+            return weighted_speedup(mix_result.ipcs, list(alone_ipcs))
+        if self.name == "ipc":
+            return sum(mix_result.ipcs) / len(mix_result.ipcs)
+        if self.name == "hit_rate":
+            accesses = sum(core.llc_accesses for core in mix_result.cores)
+            if accesses == 0:
+                return 0.0
+            return 1.0 - mix_result.total_llc_misses / accesses
+        if self.name == "mpki":
+            return sum(core.mpki for core in mix_result.cores) / len(mix_result.cores)
+        raise ExploreError(f"objective {self.name!r} has no value function")
+
+    def score(self, value: float) -> float:
+        """Normalize a raw objective value to maximize-form for observe."""
+        return value if self.direction == "max" else -value
+
+
+#: Objective registry: name -> Objective.
+OBJECTIVES: Dict[str, Objective] = {
+    "ws": Objective("ws", "max", needs_alone=True),
+    "ipc": Objective("ipc", "max"),
+    "hit_rate": Objective("hit_rate", "max"),
+    "mpki": Objective("mpki", "min"),
+}
+
+
+def objective_names() -> List[str]:
+    """All registered objective names, sorted."""
+    return sorted(OBJECTIVES)
+
+
+def get_objective(name: str) -> Objective:
+    """Look up a registered objective by name."""
+    try:
+        return OBJECTIVES[name]
+    except KeyError:
+        raise ExploreError(
+            f"unknown objective {name!r}; known: {', '.join(objective_names())}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class Study:
+    """A parameter space bound to the workload it is explored on.
+
+    Attributes:
+        name: registry name (the CLI's ``explore run <study>``).
+        title: one-line description for reports.
+        space: the parameter space searched.
+        mix: workload mix every probe simulates.
+        policy: LLC organization name the searched parameters configure.
+        accesses: trace length per core (``REPRO_SCALE`` applies at run
+            time, exactly as for the experiment drivers).
+        objective: default objective name (overridable per run).
+        sim_seed: root RNG seed of every probe's simulation — part of
+            the study, *not* the search seed, so two searches with
+            different ``--seed`` still share all store entries.
+        notes: free-form context rendered by reports.
+    """
+
+    name: str
+    title: str
+    space: ParamSpace
+    mix: str
+    policy: str = "nucache"
+    accesses: int = 120_000
+    objective: str = "ws"
+    sim_seed: int = DEFAULT_SEED
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        members = mix_members(self.mix)  # raises on unknown mixes
+        if self.space.num_cores != len(members):
+            raise ExploreError(
+                f"study {self.name!r}: space validates {self.space.num_cores} "
+                f"cores but mix {self.mix!r} has {len(members)}"
+            )
+        get_objective(self.objective)
+
+    @property
+    def members(self) -> Tuple[str, ...]:
+        """The mix's benchmark members, one per core."""
+        return tuple(mix_members(self.mix))
+
+
+@dataclass
+class ProbeResult:
+    """One evaluated probe: the point, its validity, and its objective."""
+
+    index: int
+    point: Point
+    valid: bool
+    objective: Optional[float]
+    #: Content keys of the jobs this probe resolved (empty for invalid
+    #: points, which never reach the scheduler).
+    job_keys: List[str] = field(default_factory=list)
+    #: Store provenance per probe: how many of its jobs came from the
+    #: result store vs were computed, and the computed jobs' settle
+    #: times — journal material, deliberately *not* part of the
+    #: deterministic report.
+    cached: int = 0
+    computed: int = 0
+    settle: List[float] = field(default_factory=list)
+
+    def score(self, objective: Objective) -> float:
+        """Maximize-form score for :meth:`SearchAlgorithm.observe`."""
+        from repro.explore.search import INVALID_SCORE
+
+        if not self.valid or self.objective is None:
+            return INVALID_SCORE
+        return objective.score(self.objective)
+
+
+class Evaluator:
+    """Maps probe points to scheduler batches for one study.
+
+    Args:
+        study: the bound workload and space.
+        objective: resolved objective (defaults to the study's).
+        accesses: already-scaled trace length per core.
+    """
+
+    def __init__(
+        self, study: Study, objective: Objective, accesses: int
+    ) -> None:
+        self.study = study
+        self.objective = objective
+        self.accesses = accesses
+
+    # ------------------------------------------------------------------
+
+    def jobs_for(self, point: Point) -> List[SimJob]:
+        """The job specs one probe resolves (mix run first, then alones)."""
+        jobs = [
+            SimJob.mix(
+                self.study.mix, self.study.policy, self.accesses,
+                self.study.sim_seed, **point,
+            )
+        ]
+        if self.objective.needs_alone:
+            members = self.study.members
+            jobs.extend(
+                SimJob.alone(name, len(members), self.accesses, self.study.sim_seed)
+                for name in members
+            )
+        return jobs
+
+    def evaluate(
+        self, points: Sequence[Point], first_index: int, label: str
+    ) -> List[ProbeResult]:
+        """Resolve a batch of probes through the exec scheduler.
+
+        Invalid points (cross-dimension config violations) are scored
+        without simulation.  All valid probes' jobs go to the scheduler
+        as *one* batch — deduplicated by content key, cache-first,
+        parallel on miss — and results come back in submission order,
+        so the returned probe order never depends on the worker count.
+        An interrupt (SIGINT/SIGTERM) propagates as
+        :class:`~repro.common.errors.RunInterrupted` after the batch
+        record lands in the journal; settled jobs are already in the
+        store, so a resumed search gets them for free.
+        """
+        probes: List[ProbeResult] = []
+        batch: List[SimJob] = []
+        slices: List[Tuple[ProbeResult, int, int]] = []
+        for offset, point in enumerate(points):
+            error = self.study.space.point_error(point)
+            probe = ProbeResult(
+                index=first_index + offset,
+                point=dict(point),
+                valid=error is None,
+                objective=None,
+            )
+            probes.append(probe)
+            if error is not None:
+                continue
+            jobs = self.jobs_for(point)
+            probe.job_keys = [job.key() for job in jobs]
+            slices.append((probe, len(batch), len(batch) + len(jobs)))
+            batch.extend(jobs)
+
+        if batch:
+            results, outcomes = self._run_batch(batch, label)
+            for probe, start, stop in slices:
+                mix_result = results[start]
+                alone_ipcs = [
+                    result.cores[0].ipc for result in results[start + 1:stop]
+                ]
+                probe.objective = round(
+                    float(self.objective.value(mix_result, alone_ipcs)), 6
+                )
+                self._attach_provenance(probe, outcomes)
+        return probes
+
+    @staticmethod
+    def _attach_provenance(
+        probe: ProbeResult, outcomes: Dict[str, Dict[str, object]]
+    ) -> None:
+        """Fill a probe's cached/computed counts and settle times.
+
+        Jobs deduplicated *within* a batch share one outcome; each probe
+        counts the outcome of every job it references, so a probe whose
+        alone-run denominator was computed for an earlier probe of the
+        same batch still reports it as computed (the store only dedups
+        across batches).
+        """
+        for key in probe.job_keys:
+            outcome = outcomes.get(key)
+            if outcome is None:
+                continue
+            if outcome.get("status") == "cached":
+                probe.cached += 1
+            else:
+                probe.computed += 1
+                timings = outcome.get("timings")
+                if isinstance(timings, list) and timings:
+                    probe.settle.append(round(float(timings[-1]), 6))
+
+    @staticmethod
+    def _run_batch(
+        batch: Sequence[SimJob], label: str
+    ) -> Tuple[List[SimResult], Dict[str, Dict[str, object]]]:
+        """One scheduler pass under the process-wide exec defaults.
+
+        Mirrors :func:`repro.exec.context.run_jobs` (journal batch
+        records on success and on interrupt) but keeps the scheduler
+        handle so the caller can read per-job outcomes for probe
+        provenance; run-level totals are accumulated by the driver from
+        the batch reports instead of the exec context.
+        """
+        scheduler = exec_context.get_scheduler()
+        journal = exec_context.active_journal()
+        try:
+            results = scheduler.run(batch)
+        except RunInterrupted as exc:
+            if journal is not None:
+                journal.record_batch(
+                    exc.outcomes, exc.report, label=label, status="interrupted"
+                )
+            raise
+        if journal is not None:
+            journal.record_batch(
+                scheduler.last_outcomes, scheduler.last_report, label=label
+            )
+        resolved = [result for result in results if result is not None]
+        if len(resolved) != len(results):
+            # strict=True means this cannot happen; guard the invariant
+            # so a future non-strict caller fails loudly, not with None.
+            raise ExploreError("scheduler returned unresolved jobs")
+        return resolved, scheduler.last_outcomes

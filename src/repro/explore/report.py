@@ -1,0 +1,197 @@
+"""Deterministic exploration reports: ``explore.json`` and text tables.
+
+The report is the search's durable artifact.  It is *fully
+deterministic* — no timestamps, hostnames, wall times, or store state —
+so that the same ``(study, algorithm, seed, budget)`` produces a
+byte-identical file whether the search ran serial or parallel, cold or
+warm, uninterrupted or resumed from its journal.  That property is what
+the reproducibility tests and the CI smoke diff pin down.  Provenance
+that legitimately varies between runs (cache-hit ratios, settle times)
+lives in the run journal instead and is rendered by ``runs show`` /
+``explore show``.
+
+Contents: the study binding, the content-addressed space spec, the
+search settings, one record per probe (params, validity, objective,
+store keys), the best-so-far trajectory, and the winning configuration.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union, cast
+
+from repro.explore.evaluate import Objective, ProbeResult, Study
+from repro.explore.space import ExploreError
+
+#: Schema version of explore.json payloads.
+REPORT_SCHEMA = 1
+
+
+def _better(objective: Objective, candidate: float, incumbent: float) -> bool:
+    if objective.direction == "max":
+        return candidate > incumbent
+    return candidate < incumbent
+
+
+def build_report(
+    study: Study,
+    objective: Objective,
+    algo: str,
+    seed: int,
+    budget: int,
+    accesses: int,
+    probes: Sequence[ProbeResult],
+) -> Dict[str, Any]:
+    """Assemble the deterministic report payload for one search.
+
+    ``best_curve[i]`` is the best objective value over probes ``0..i``
+    (``None`` until the first valid probe) — the best-so-far trajectory
+    the trajectory tests and plots consume.  ``best`` identifies the
+    winning probe; ties keep the earliest probe, so the winner is stable
+    under re-runs.
+    """
+    probe_rows: List[Dict[str, Any]] = []
+    best_curve: List[Optional[float]] = []
+    best: Optional[Dict[str, Any]] = None
+    for probe in probes:
+        probe_rows.append(
+            {
+                "index": probe.index,
+                "params": dict(probe.point),
+                "valid": probe.valid,
+                "objective": probe.objective,
+                "job_keys": list(probe.job_keys),
+            }
+        )
+        if probe.valid and probe.objective is not None:
+            if best is None or _better(
+                objective, probe.objective, float(best["objective"])
+            ):
+                best = {
+                    "index": probe.index,
+                    "params": dict(probe.point),
+                    "objective": probe.objective,
+                }
+        best_curve.append(None if best is None else float(best["objective"]))
+    return {
+        "schema": REPORT_SCHEMA,
+        "study": {
+            "name": study.name,
+            "title": study.title,
+            "mix": study.mix,
+            "policy": study.policy,
+            "accesses": accesses,
+            "sim_seed": study.sim_seed,
+        },
+        "space": {
+            "hash": study.space.space_hash(),
+            "spec": study.space.spec(),
+        },
+        "search": {"algo": algo, "seed": seed, "budget": budget},
+        "objective": {"name": objective.name, "direction": objective.direction},
+        "probes": probe_rows,
+        "best_curve": best_curve,
+        "best": best,
+    }
+
+
+def write_report(report: Dict[str, Any], path: Union[str, Path]) -> Path:
+    """Write a report canonically (sorted keys, trailing newline).
+
+    The canonical form is what makes byte-for-byte comparison (the
+    reproducibility contract) meaningful; always write through here.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(report, sort_keys=True, indent=2) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def load_report(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read a report written by :func:`write_report`."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise ExploreError(f"cannot read explore report {path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("schema") != REPORT_SCHEMA:
+        raise ExploreError(
+            f"{path} is not a schema-{REPORT_SCHEMA} explore report"
+        )
+    return payload
+
+
+def trajectory(report: Dict[str, Any]) -> List[Optional[float]]:
+    """The best-so-far curve of a report (the determinism contract)."""
+    return list(report.get("best_curve", []))
+
+
+def render_best_table(report: Dict[str, Any]) -> str:
+    """The winning configuration as an aligned parameter/value table."""
+    best = report.get("best")
+    if not isinstance(best, dict):
+        return "no valid probe found (every point was invalid)"
+    objective = cast(Dict[str, Any], report["objective"])
+    lines = [
+        "best configuration (probe {index}, {name}={value:.6g}, {direction}):".format(
+            index=best["index"],
+            name=objective["name"],
+            value=float(best["objective"]),
+            direction=objective["direction"],
+        )
+    ]
+    params = cast(Dict[str, Any], best["params"])
+    width = max(len(name) for name in params)
+    for name in sorted(params):
+        lines.append(f"  {name:<{width}} = {params[name]}")
+    return "\n".join(lines)
+
+
+def render_report(report: Dict[str, Any]) -> str:
+    """Human-readable rendering: header, best table, probe trajectory."""
+    study = cast(Dict[str, Any], report["study"])
+    search = cast(Dict[str, Any], report["search"])
+    objective = cast(Dict[str, Any], report["objective"])
+    space = cast(Dict[str, Any], report["space"])
+    lines = [
+        "== explore {name}: {algo} seed={seed} budget={budget} "
+        "objective={obj} ({direction}) ==".format(
+            name=study["name"],
+            algo=search["algo"],
+            seed=search["seed"],
+            budget=search["budget"],
+            obj=objective["name"],
+            direction=objective["direction"],
+        ),
+        f"study: {study['title']}",
+        "workload: mix={mix} policy={policy} accesses={accesses} "
+        "sim_seed={sim_seed}".format(
+            mix=study["mix"], policy=study["policy"],
+            accesses=study["accesses"], sim_seed=study["sim_seed"],
+        ),
+        f"space: {str(space['hash'])[:16]}",
+        "",
+        render_best_table(report),
+        "",
+        "trajectory (objective, best-so-far):",
+    ]
+    probes = cast(List[Dict[str, Any]], report.get("probes", []))
+    curve = cast(List[Optional[float]], report.get("best_curve", []))
+    for row, best_so_far in zip(probes, curve):
+        value = row.get("objective")
+        shown = "invalid" if not row.get("valid") else f"{value:.6g}"
+        star = (
+            "  *"
+            if row.get("valid") and value is not None and value == best_so_far
+            else ""
+        )
+        best_text = "-" if best_so_far is None else f"{best_so_far:.6g}"
+        params = cast(Dict[str, Any], row["params"])
+        shown_params = " ".join(f"{name}={params[name]}" for name in sorted(params))
+        lines.append(
+            f"  probe {row['index']:>3}  {shown:>10}  best {best_text:>10}"
+            f"{star}  {shown_params}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,342 @@
+"""Pluggable search drivers over a :class:`~repro.explore.space.ParamSpace`.
+
+Every algorithm implements one small interface with *propose/observe*
+semantics:
+
+* :meth:`SearchAlgorithm.propose` returns the next batch of candidate
+  points it wants evaluated (an empty list means the search is
+  exhausted).  The batch boundary is the algorithm's natural decision
+  granularity — a GA generation, a hill-climb neighbour ring, a chunk
+  of random draws — and never depends on the worker count, which is
+  what keeps a search's trajectory byte-identical at any ``--jobs``.
+* :meth:`SearchAlgorithm.observe` feeds back ``(point, score)`` pairs.
+  Scores are always *maximized*; the evaluation layer negates
+  minimizing objectives before calling observe, and scores an invalid
+  point as ``-inf`` so searches learn to avoid invalid corners without
+  special cases.
+
+All randomness flows through :func:`repro.common.rng.make_rng` seeded
+from the search seed plus the space hash, so a given
+``(space, algorithm, seed)`` triple proposes the same trajectory on
+every machine — the property the resume path and the reproducibility
+tests rely on.  New algorithms drop in by subclassing
+:class:`SearchAlgorithm` and registering a factory in
+:data:`ALGORITHMS`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.rng import make_rng
+from repro.explore.space import ExploreError, Indices, ParamSpace, Point
+
+#: Score assigned to invalid points (observe semantics: maximize).
+INVALID_SCORE = float("-inf")
+
+#: How many points chunk-style algorithms (random) propose per batch
+#: when the caller's budget allows more; a bound keeps journals granular
+#: without ever depending on the worker count.
+_CHUNK = 16
+
+
+class SearchAlgorithm:
+    """Base class: deterministic propose/observe over a finite space.
+
+    Subclasses implement :meth:`_propose_indices` and (optionally)
+    :meth:`_observe_indices`; the base class handles encoding between
+    points and index vectors and records every observation in
+    :attr:`evaluated` so algorithms can avoid re-proposing known points.
+    """
+
+    #: Registry name (overridden per subclass).
+    name = "base"
+
+    def __init__(self, space: ParamSpace, seed: int) -> None:
+        self.space = space
+        self.seed = seed
+        self.rng = make_rng(seed, f"explore:{self.name}:{space.space_hash()[:16]}")
+        #: Every observed point: index vector -> score (maximize).
+        self.evaluated: Dict[Indices, float] = {}
+
+    # -- interface ------------------------------------------------------
+
+    def propose(self, budget: int) -> List[Point]:
+        """Up to ``budget`` new candidate points (empty when exhausted)."""
+        if budget <= 0:
+            return []
+        return [self.space.point(ix) for ix in self._propose_indices(budget)]
+
+    def observe(self, evaluations: Sequence[Tuple[Point, float]]) -> None:
+        """Feed back scores for previously proposed points (maximize)."""
+        encoded = [(self.space.indices(point), score) for point, score in evaluations]
+        for indices, score in encoded:
+            self.evaluated[indices] = score
+        self._observe_indices(encoded)
+
+    @property
+    def best(self) -> Optional[Tuple[Indices, float]]:
+        """Best observed ``(indices, score)`` so far, if anything scored."""
+        finite = {ix: s for ix, s in self.evaluated.items() if s != INVALID_SCORE}
+        if not finite:
+            return None
+        # Tie-break on the index vector so 'best' is deterministic.
+        return max(finite.items(), key=lambda item: (item[1], item[0]))
+
+    # -- subclass hooks -------------------------------------------------
+
+    def _propose_indices(self, budget: int) -> List[Indices]:
+        """Return up to ``budget`` index vectors to evaluate next."""
+        raise NotImplementedError
+
+    def _observe_indices(self, evaluations: Sequence[Tuple[Indices, float]]) -> None:
+        """React to new scores (default: nothing beyond the base records)."""
+
+    # -- shared helpers -------------------------------------------------
+
+    def _random_indices(self) -> Indices:
+        """One uniformly random index vector."""
+        return tuple(int(self.rng.integers(0, n)) for n in self.space.shape)
+
+    def _random_unseen(self, exclude: Optional[set] = None) -> Optional[Indices]:
+        """A random not-yet-evaluated index vector, or ``None`` if none left.
+
+        Draws with rejection first (cheap, overwhelmingly likely in
+        sparse searches), then falls back to a deterministic scan so a
+        nearly-exhausted space still terminates.
+        """
+        skip = set(self.evaluated)
+        if exclude:
+            skip |= exclude
+        if len(skip) >= self.space.size:
+            return None
+        for _ in range(32):
+            candidate = self._random_indices()
+            if candidate not in skip:
+                return candidate
+        for candidate in self.space.iter_indices():
+            if candidate not in skip:
+                return candidate
+        return None
+
+
+class RandomSearch(SearchAlgorithm):
+    """Seeded uniform sampling without replacement.
+
+    Sampling *without* replacement gives the useful limit behaviour
+    that a budget of ``space.size`` probes is exhaustive; duplicates
+    would only burn budget on guaranteed store hits.
+    """
+
+    name = "random"
+
+    def _propose_indices(self, budget: int) -> List[Indices]:
+        batch: List[Indices] = []
+        pending: set = set()
+        for _ in range(min(budget, _CHUNK)):
+            candidate = self._random_unseen(exclude=pending)
+            if candidate is None:
+                break
+            pending.add(candidate)
+            batch.append(candidate)
+        return batch
+
+
+class GridSearch(SearchAlgorithm):
+    """Exhaustive lexicographic enumeration (ignores scores)."""
+
+    name = "grid"
+
+    def __init__(self, space: ParamSpace, seed: int) -> None:
+        super().__init__(space, seed)
+        self._cursor = space.iter_indices()
+
+    def _propose_indices(self, budget: int) -> List[Indices]:
+        batch: List[Indices] = []
+        for indices in self._cursor:
+            batch.append(indices)
+            if len(batch) >= min(budget, _CHUNK):
+                break
+        return batch
+
+
+class HillClimb(SearchAlgorithm):
+    """Greedy neighbourhood ascent with seeded random restarts.
+
+    From the current best point, proposes the full ring of unevaluated
+    one-step neighbours (one dimension index moved by one); when the
+    ring is exhausted without improvement, restarts at a fresh random
+    point.  The ring is proposed as one batch, so every neighbour can
+    be simulated in parallel without changing the trajectory.
+    """
+
+    name = "hill"
+
+    def __init__(self, space: ParamSpace, seed: int) -> None:
+        super().__init__(space, seed)
+        self._current: Optional[Indices] = None
+        self._current_score = INVALID_SCORE
+
+    def _neighbours(self, center: Indices) -> List[Indices]:
+        ring: List[Indices] = []
+        for axis, width in enumerate(self.space.shape):
+            for delta in (-1, 1):
+                moved = center[axis] + delta
+                if 0 <= moved < width:
+                    ring.append(center[:axis] + (moved,) + center[axis + 1:])
+        return ring
+
+    def _propose_indices(self, budget: int) -> List[Indices]:
+        if self._current is None:
+            start = self._random_unseen()
+            return [] if start is None else [start]
+        ring = [ix for ix in self._neighbours(self._current) if ix not in self.evaluated]
+        if ring:
+            return ring[:budget]
+        # Local optimum (or a fully-probed ring): random restart.
+        restart = self._random_unseen()
+        return [] if restart is None else [restart]
+
+    def _observe_indices(self, evaluations: Sequence[Tuple[Indices, float]]) -> None:
+        for indices, score in evaluations:
+            if self._current is None or score > self._current_score:
+                self._current = indices
+                self._current_score = score
+
+
+class GeneticSearch(SearchAlgorithm):
+    """A simple generational GA over index-vector genomes.
+
+    Generations of :attr:`population` genomes; once a generation is
+    fully scored, the next is bred with two-elite carryover, tournament
+    parent selection, uniform crossover, and per-gene mutation.  A
+    generation's unevaluated genomes are proposed as one batch, so the
+    whole population can evaluate in parallel.
+    """
+
+    name = "ga"
+
+    def __init__(
+        self,
+        space: ParamSpace,
+        seed: int,
+        population: int = 8,
+        mutation_rate: float = 0.25,
+        tournament: int = 3,
+        elites: int = 2,
+    ) -> None:
+        super().__init__(space, seed)
+        if population < 2:
+            raise ExploreError(f"population must be >= 2, got {population}")
+        self.population = min(population, space.size)
+        self.mutation_rate = mutation_rate
+        self.tournament = min(tournament, self.population)
+        self.elites = min(elites, self.population)
+        self._generation: List[Indices] = [
+            self._random_indices() for _ in range(self.population)
+        ]
+
+    def _propose_indices(self, budget: int) -> List[Indices]:
+        pending = [ix for ix in self._generation if ix not in self.evaluated]
+        # Deduplicate within the batch while keeping generation order.
+        unique: List[Indices] = []
+        for indices in pending:
+            if indices not in unique:
+                unique.append(indices)
+        if not unique:
+            self._breed()
+            unique = []
+            for indices in self._generation:
+                if indices not in self.evaluated and indices not in unique:
+                    unique.append(indices)
+            if not unique:
+                # Bred a fully-known generation: inject a fresh point so
+                # the search always makes progress within budget.
+                fresh = self._random_unseen()
+                return [] if fresh is None else [fresh]
+        return unique[:budget]
+
+    def _score(self, indices: Indices) -> float:
+        return self.evaluated.get(indices, INVALID_SCORE)
+
+    def _select(self) -> Indices:
+        """Tournament selection over the current generation."""
+        picks = [
+            self._generation[int(self.rng.integers(0, len(self._generation)))]
+            for _ in range(self.tournament)
+        ]
+        return max(picks, key=lambda ix: (self._score(ix), ix))
+
+    def _breed(self) -> None:
+        """Replace the generation: elites + crossover/mutation offspring."""
+        ranked = sorted(
+            self._generation, key=lambda ix: (self._score(ix), ix), reverse=True
+        )
+        next_gen: List[Indices] = []
+        for elite in ranked:
+            if elite not in next_gen:
+                next_gen.append(elite)
+            if len(next_gen) >= self.elites:
+                break
+        while len(next_gen) < self.population:
+            mother, father = self._select(), self._select()
+            child = tuple(
+                mother[axis] if self.rng.random() < 0.5 else father[axis]
+                for axis in range(len(self.space.shape))
+            )
+            child = tuple(
+                int(self.rng.integers(0, width))
+                if self.rng.random() < self.mutation_rate
+                else gene
+                for gene, width in zip(child, self.space.shape)
+            )
+            next_gen.append(child)
+        self._generation = next_gen
+
+
+#: Algorithm registry: name -> factory(space, seed).
+ALGORITHMS: Dict[str, Callable[[ParamSpace, int], SearchAlgorithm]] = {
+    "random": RandomSearch,
+    "grid": GridSearch,
+    "hill": HillClimb,
+    "ga": GeneticSearch,
+}
+
+
+def algorithm_names() -> List[str]:
+    """All registered search algorithm names, sorted."""
+    return sorted(ALGORITHMS)
+
+
+def make_algorithm(name: str, space: ParamSpace, seed: int) -> SearchAlgorithm:
+    """Build a registered search algorithm by name."""
+    try:
+        factory = ALGORITHMS[name]
+    except KeyError:
+        raise ExploreError(
+            f"unknown search algorithm {name!r}; known: {', '.join(algorithm_names())}"
+        ) from None
+    return factory(space, seed)
+
+
+def drive(
+    algorithm: SearchAlgorithm,
+    scorer: Callable[[Point], float],
+    budget: int,
+) -> List[Tuple[Point, float]]:
+    """Run an algorithm against a closed-form scorer (no simulation).
+
+    The synthetic-objective test bed: loops propose/observe until
+    ``budget`` points are scored or the algorithm is exhausted, and
+    returns the evaluations in probe order.  Scores follow observe
+    semantics (higher is better).
+    """
+    history: List[Tuple[Point, float]] = []
+    while len(history) < budget:
+        batch = algorithm.propose(budget - len(history))
+        if not batch:
+            break
+        scored = [(point, scorer(point)) for point in batch]
+        algorithm.observe(scored)
+        history.extend(scored)
+    return history

@@ -1,0 +1,263 @@
+"""Declarative parameter spaces: typed dimensions over the config layer.
+
+A :class:`ParamSpace` is an ordered set of named, *finite* dimensions —
+integer ranges, log-spaced ranges, categorical choices — whose cross
+product is the set of candidate configurations a search explores.
+Finiteness is deliberate: every dimension exposes an ordered value
+tuple, so a point is just an index vector, and the same space serves
+random sampling, exhaustive grids, neighbourhood moves (hill-climb) and
+genome crossover (GA) without per-algorithm encodings.
+
+Spaces are validated against the existing config layer at construction:
+each dimension must name a :class:`~repro.common.config.NUcacheConfig`
+field, and every value of every dimension must individually produce a
+constructible system config.  Cross-dimension constraints (for example
+``max_selected_pcs <= num_candidate_pcs``) cannot be checked per
+dimension, so :meth:`ParamSpace.point_error` re-validates each concrete
+point at probe time — a search is allowed to wander into an invalid
+corner and simply scores it as unusable.
+
+Like :class:`~repro.exec.job.SimJob`, spaces are content-addressed:
+:meth:`ParamSpace.space_hash` digests the canonical dimension spec, so
+journals and reports can detect when a resumed search no longer matches
+the space it started from.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields as dataclass_fields
+from itertools import product
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.common.config import NUcacheConfig, paper_system_config
+from repro.common.errors import ConfigError, ReproError
+
+#: Scalar value types a dimension may take (JSON-stable, like job
+#: overrides — see :mod:`repro.exec.job`).
+ParamValue = Union[bool, int, float, str]
+
+#: A concrete point of the space: dimension name -> value.
+Point = Dict[str, ParamValue]
+
+#: Internal index-vector encoding of a point (one index per dimension,
+#: in space order).
+Indices = Tuple[int, ...]
+
+
+class ExploreError(ReproError):
+    """A parameter space, study, or search request is unusable."""
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """One named axis of a parameter space (a finite, ordered value set).
+
+    Attributes:
+        name: the config parameter this axis controls (a
+            :class:`~repro.common.config.NUcacheConfig` field name).
+        values: ordered candidate values; adjacency in this tuple is
+            what neighbourhood-based searches (hill-climb, GA mutation)
+            treat as "one step".
+        kind: how the axis was declared (``int``/``log``/``choice``) —
+            metadata for reports; the mechanics only use ``values``.
+    """
+
+    name: str
+    values: Tuple[ParamValue, ...]
+    kind: str = "choice"
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ExploreError(f"dimension name must be a non-empty string, got {self.name!r}")
+        if not self.values:
+            raise ExploreError(f"dimension {self.name!r} has no values")
+        if len(set(self.values)) != len(self.values):
+            raise ExploreError(f"dimension {self.name!r} has duplicate values")
+        for value in self.values:
+            if not isinstance(value, (bool, int, float, str)):
+                raise ExploreError(
+                    f"dimension {self.name!r} value {value!r} is not a scalar"
+                )
+
+    def spec(self) -> Dict[str, object]:
+        """Canonical JSON-stable description (hashed into the space hash)."""
+        return {"name": self.name, "kind": self.kind, "values": list(self.values)}
+
+
+def int_range(name: str, low: int, high: int, step: int = 1) -> Dimension:
+    """An inclusive integer range ``low, low+step, ..., <= high``."""
+    if step <= 0:
+        raise ExploreError(f"step must be positive, got {step}")
+    if low > high:
+        raise ExploreError(f"int_range {name!r} is empty: low {low} > high {high}")
+    return Dimension(name, tuple(range(low, high + 1, step)), kind="int")
+
+
+def log_range(name: str, low: int, high: int, factor: int = 2) -> Dimension:
+    """A geometric series ``low, low*factor, ... <= high`` (log-spaced axis)."""
+    if factor <= 1:
+        raise ExploreError(f"factor must be > 1, got {factor}")
+    if low <= 0 or low > high:
+        raise ExploreError(f"log_range {name!r} needs 0 < low <= high, got {low}..{high}")
+    values: List[ParamValue] = []
+    value = low
+    while value <= high:
+        values.append(value)
+        value *= factor
+    return Dimension(name, tuple(values), kind="log")
+
+
+def choice(name: str, options: Sequence[ParamValue]) -> Dimension:
+    """A categorical dimension over an explicit option list."""
+    return Dimension(name, tuple(options), kind="choice")
+
+
+#: NUcacheConfig field names a dimension may target.
+_CONFIG_FIELDS = tuple(f.name for f in dataclass_fields(NUcacheConfig))
+
+
+class ParamSpace:
+    """An ordered, validated, content-addressed set of dimensions.
+
+    Args:
+        dimensions: the axes, in declaration order (the order index
+            vectors and grid enumeration follow).
+        num_cores: core count of the system the points configure; used
+            to validate values against the real config constructors.
+    """
+
+    def __init__(self, dimensions: Sequence[Dimension], num_cores: int = 2) -> None:
+        if not dimensions:
+            raise ExploreError("a parameter space needs at least one dimension")
+        names = [dim.name for dim in dimensions]
+        if len(set(names)) != len(names):
+            raise ExploreError(f"duplicate dimension names: {names}")
+        self.dimensions: Tuple[Dimension, ...] = tuple(dimensions)
+        self.num_cores = num_cores
+        self._validate_against_config()
+
+    # ------------------------------------------------------------------
+    # Validation against the config layer
+    # ------------------------------------------------------------------
+
+    def _validate_against_config(self) -> None:
+        """Reject axes the config layer could never accept.
+
+        Checks each dimension name against the
+        :class:`~repro.common.config.NUcacheConfig` schema and builds a
+        real system config for every value *in isolation*, so a typo'd
+        parameter or an out-of-domain value fails at declaration time,
+        not at probe time.
+        """
+        for dim in self.dimensions:
+            if dim.name not in _CONFIG_FIELDS:
+                raise ExploreError(
+                    f"dimension {dim.name!r} is not a NUcacheConfig parameter; "
+                    f"known: {', '.join(_CONFIG_FIELDS)}"
+                )
+            for value in dim.values:
+                try:
+                    paper_system_config(self.num_cores, **{dim.name: value})
+                except ConfigError as exc:
+                    raise ExploreError(
+                        f"dimension {dim.name!r} value {value!r} is invalid "
+                        f"for a {self.num_cores}-core system: {exc}"
+                    ) from exc
+
+    def point_error(self, point: Point) -> Optional[str]:
+        """Why this concrete point is invalid, or ``None`` if it is fine.
+
+        Per-dimension values are valid by construction; this catches
+        *cross-dimension* constraints by building the full config.
+        Searches treat an invalid point as a probed-and-worthless
+        configuration rather than an error.
+        """
+        try:
+            paper_system_config(self.num_cores, **point)
+        except ConfigError as exc:
+            return str(exc)
+        return None
+
+    # ------------------------------------------------------------------
+    # Point encoding
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of points in the full cross product."""
+        total = 1
+        for dim in self.dimensions:
+            total *= len(dim.values)
+        return total
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Value count per dimension, in space order."""
+        return tuple(len(dim.values) for dim in self.dimensions)
+
+    def point(self, indices: Sequence[int]) -> Point:
+        """Decode an index vector into a ``{name: value}`` point."""
+        if len(indices) != len(self.dimensions):
+            raise ExploreError(
+                f"index vector length {len(indices)} != {len(self.dimensions)} dimensions"
+            )
+        point: Point = {}
+        for dim, index in zip(self.dimensions, indices):
+            if not 0 <= index < len(dim.values):
+                raise ExploreError(
+                    f"index {index} out of range for dimension {dim.name!r} "
+                    f"({len(dim.values)} values)"
+                )
+            point[dim.name] = dim.values[index]
+        return point
+
+    def indices(self, point: Point) -> Indices:
+        """Encode a point back into its index vector (inverse of :meth:`point`)."""
+        if set(point) != {dim.name for dim in self.dimensions}:
+            raise ExploreError(
+                f"point names {sorted(point)} do not match space dimensions "
+                f"{[dim.name for dim in self.dimensions]}"
+            )
+        vector: List[int] = []
+        for dim in self.dimensions:
+            try:
+                vector.append(dim.values.index(point[dim.name]))
+            except ValueError:
+                raise ExploreError(
+                    f"value {point[dim.name]!r} is not on dimension {dim.name!r}"
+                ) from None
+        return tuple(vector)
+
+    def iter_indices(self) -> Iterator[Indices]:
+        """Every index vector in lexicographic (grid) order."""
+        return iter(product(*(range(n) for n in self.shape)))
+
+    # ------------------------------------------------------------------
+    # Content addressing and serialization
+    # ------------------------------------------------------------------
+
+    def spec(self) -> Dict[str, object]:
+        """Canonical field dict (the hashed content)."""
+        return {
+            "num_cores": self.num_cores,
+            "dimensions": [dim.spec() for dim in self.dimensions],
+        }
+
+    def space_hash(self) -> str:
+        """Stable content hash of the space (dimension names, values, order)."""
+        canon = json.dumps(self.spec(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the axes."""
+        parts = []
+        for dim in self.dimensions:
+            values = dim.values
+            if len(values) > 4:
+                shown = f"{values[0]}, {values[1]}, ..., {values[-1]}"
+            else:
+                shown = ", ".join(str(v) for v in values)
+            parts.append(f"{dim.name} in {{{shown}}} ({len(values)})")
+        return "; ".join(parts)

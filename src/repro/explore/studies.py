@@ -1,0 +1,106 @@
+"""Ready-made exploration studies over the NUcache knob space.
+
+Two production studies ship with the harness:
+
+* ``nucache-split`` — the MainWay/DeliWay split and epoch-length tuning
+  study on a fig5 (dual-core) mix: the knobs behind the paper's
+  headline sensitivity figures, searched instead of hand-gridded.
+* ``nucache-quota`` — a partitioned-NUcache (``nucache-ucp``) quota
+  search in the spirit of predictable LLC sharing (arXiv 2204.01679):
+  the DeliWay count *is* the shared-vs-partitioned capacity quota
+  (MainWays are UCP-partitioned per core, DeliWays are shared), so
+  searching it alongside the selection knobs trades per-core isolation
+  against post-eviction reuse.
+
+``explore-smoke`` is the miniature study CI and the test suite use: the
+same shape as ``nucache-split`` at a trace length short enough to probe
+in well under a second.
+
+Studies are plain :class:`~repro.explore.evaluate.Study` values in a
+registry; new studies drop in by adding an entry to :data:`STUDIES`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.explore.evaluate import Study
+from repro.explore.space import ExploreError, ParamSpace, choice, int_range, log_range
+
+#: Study registry: name -> Study.
+STUDIES: Dict[str, Study] = {
+    "nucache-split": Study(
+        name="nucache-split",
+        title="MainWay/DeliWay split and epoch tuning (fig5 mix, NUcache)",
+        space=ParamSpace(
+            [
+                int_range("deli_ways", 2, 12, step=2),
+                log_range("epoch_misses", 2_500, 40_000),
+                choice("max_selected_pcs", (4, 8, 16)),
+            ],
+            num_cores=2,
+        ),
+        mix="mix2_1",
+        policy="nucache",
+        accesses=120_000,
+        objective="ws",
+        notes=(
+            "Searches the split/epoch/selection-budget space the paper's "
+            "figs. 4/9 sample by hand; weighted speedup vs the LRU-alone "
+            "baseline, on the first dual-core mix."
+        ),
+    ),
+    "nucache-quota": Study(
+        name="nucache-quota",
+        title="Partitioned-NUcache quota search (fig5 mix, nucache-ucp)",
+        space=ParamSpace(
+            [
+                int_range("deli_ways", 2, 12, step=2),
+                log_range("epoch_misses", 5_000, 40_000),
+                choice("selector", ("greedy", "topk", "all")),
+            ],
+            num_cores=2,
+        ),
+        mix="mix2_3",
+        policy="nucache-ucp",
+        accesses=120_000,
+        objective="ws",
+        notes=(
+            "UCP partitions the MainWays per core while the DeliWays stay "
+            "shared: deli_ways is the shared-capacity quota, searched "
+            "against the selection knobs for the best isolation/reuse "
+            "trade (the arXiv 2204.01679-flavoured story)."
+        ),
+    ),
+    "explore-smoke": Study(
+        name="explore-smoke",
+        title="Miniature split/epoch study for CI smoke and tests",
+        space=ParamSpace(
+            [
+                int_range("deli_ways", 2, 8, step=2),
+                log_range("epoch_misses", 2_500, 20_000),
+            ],
+            num_cores=2,
+        ),
+        mix="mix2_1",
+        policy="nucache",
+        accesses=24_000,
+        objective="ws",
+        notes="Same shape as nucache-split at smoke-test trace lengths.",
+    ),
+}
+
+
+def study_names() -> List[str]:
+    """All registered study names, sorted."""
+    return sorted(STUDIES)
+
+
+def get_study(name: str) -> Study:
+    """Look up a registered study by name."""
+    try:
+        return STUDIES[name]
+    except KeyError:
+        raise ExploreError(
+            f"unknown study {name!r}; known: {', '.join(study_names())}"
+        ) from None

@@ -1,0 +1,141 @@
+"""Tests for the declarative parameter-space model (repro.explore.space)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.explore.space import (
+    Dimension,
+    ExploreError,
+    ParamSpace,
+    choice,
+    int_range,
+    log_range,
+)
+
+
+class TestDimensionFactories:
+    def test_int_range_inclusive_with_step(self):
+        dim = int_range("deli_ways", 2, 12, step=2)
+        assert dim.values == (2, 4, 6, 8, 10, 12)
+        assert dim.kind == "int"
+
+    def test_log_range_geometric(self):
+        dim = log_range("epoch_misses", 2_500, 40_000)
+        assert dim.values == (2_500, 5_000, 10_000, 20_000, 40_000)
+        assert dim.kind == "log"
+
+    def test_choice_preserves_order(self):
+        dim = choice("selector", ("greedy", "topk", "all"))
+        assert dim.values == ("greedy", "topk", "all")
+
+    def test_empty_and_duplicate_values_rejected(self):
+        with pytest.raises(ExploreError, match="empty"):
+            int_range("deli_ways", 5, 2)
+        with pytest.raises(ExploreError, match="duplicate"):
+            Dimension("deli_ways", (2, 2))
+        with pytest.raises(ExploreError, match="no values"):
+            Dimension("deli_ways", ())
+
+    def test_bad_step_and_factor_rejected(self):
+        with pytest.raises(ExploreError, match="step"):
+            int_range("deli_ways", 1, 4, step=0)
+        with pytest.raises(ExploreError, match="factor"):
+            log_range("epoch_misses", 100, 200, factor=1)
+
+    def test_non_scalar_value_rejected(self):
+        with pytest.raises(ExploreError, match="not a scalar"):
+            Dimension("deli_ways", ((1, 2),))  # type: ignore[arg-type]
+
+
+def _small_space() -> ParamSpace:
+    return ParamSpace(
+        [int_range("deli_ways", 2, 8, step=2), log_range("epoch_misses", 2_500, 20_000)],
+        num_cores=2,
+    )
+
+
+class TestParamSpaceValidation:
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ExploreError, match="not a NUcacheConfig parameter"):
+            ParamSpace([choice("warp_drive", (1, 2))])
+
+    def test_out_of_domain_value_rejected_at_declaration(self):
+        # deli_ways must leave at least one MainWay in the 16-way LLC.
+        with pytest.raises(ExploreError, match="deli_ways"):
+            ParamSpace([int_range("deli_ways", 14, 20)], num_cores=2)
+
+    def test_duplicate_dimension_names_rejected(self):
+        with pytest.raises(ExploreError, match="duplicate"):
+            ParamSpace([choice("deli_ways", (2,)), choice("deli_ways", (4,))])
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(ExploreError, match="at least one dimension"):
+            ParamSpace([])
+
+    def test_point_error_catches_cross_dimension_violations(self):
+        # Each value is valid alone (against the paper defaults), but
+        # max_selected_pcs=24 with num_candidate_pcs=16 is jointly invalid.
+        space = ParamSpace(
+            [
+                choice("num_candidate_pcs", (16, 32)),
+                choice("max_selected_pcs", (8, 24)),
+            ],
+            num_cores=2,
+        )
+        ok = {"num_candidate_pcs": 32, "max_selected_pcs": 24}
+        bad = {"num_candidate_pcs": 16, "max_selected_pcs": 24}
+        assert space.point_error(ok) is None
+        assert "max_selected_pcs" in str(space.point_error(bad))
+
+
+class TestPointEncoding:
+    def test_point_indices_round_trip(self):
+        space = _small_space()
+        for indices in space.iter_indices():
+            point = space.point(indices)
+            assert space.indices(point) == indices
+
+    def test_size_and_shape(self):
+        space = _small_space()
+        assert space.shape == (4, 4)
+        assert space.size == 16
+        assert len(list(space.iter_indices())) == 16
+
+    def test_bad_index_vector_rejected(self):
+        space = _small_space()
+        with pytest.raises(ExploreError, match="length"):
+            space.point((0,))
+        with pytest.raises(ExploreError, match="out of range"):
+            space.point((0, 99))
+
+    def test_bad_point_rejected(self):
+        space = _small_space()
+        with pytest.raises(ExploreError, match="do not match"):
+            space.indices({"deli_ways": 2})
+        with pytest.raises(ExploreError, match="not on dimension"):
+            space.indices({"deli_ways": 3, "epoch_misses": 2_500})
+
+
+class TestContentAddressing:
+    def test_space_hash_is_stable(self):
+        assert _small_space().space_hash() == _small_space().space_hash()
+
+    def test_space_hash_tracks_content(self):
+        base = _small_space()
+        wider = ParamSpace(
+            [int_range("deli_ways", 2, 10, step=2),
+             log_range("epoch_misses", 2_500, 20_000)],
+            num_cores=2,
+        )
+        reordered = ParamSpace(
+            [log_range("epoch_misses", 2_500, 20_000),
+             int_range("deli_ways", 2, 8, step=2)],
+            num_cores=2,
+        )
+        assert base.space_hash() != wider.space_hash()
+        assert base.space_hash() != reordered.space_hash()
+
+    def test_describe_mentions_every_dimension(self):
+        text = _small_space().describe()
+        assert "deli_ways" in text and "epoch_misses" in text

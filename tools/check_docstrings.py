@@ -32,6 +32,7 @@ DEFAULT_PATHS = (
     "src/repro/bench",
     "src/repro/check",
     "src/repro/exec",
+    "src/repro/explore",
     "src/repro/obs",
 )
 
