@@ -58,9 +58,9 @@ import os
 import sys
 from typing import List, Optional
 
-from repro.common.errors import ExecError, ReproError, RunInterrupted
+from repro.common.errors import ExecError, ReproError, RunInterrupted, StoreError
 from repro.common.rng import DEFAULT_SEED
-from repro.exec import ResultStore, RunJournal
+from repro.exec import RunJournal
 from repro.exec import context as exec_context
 from repro.exec import journal as run_journal
 from repro.experiments import experiment_ids, run_experiment
@@ -187,6 +187,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     exec_context.configure(
         jobs=args.jobs,
         use_cache=False if args.no_cache else None,
+        store=getattr(args, "store", None),
     )
     try:
         requested, resumed_from = _resolve_run_request(args)
@@ -339,6 +340,12 @@ def _cmd_runs(args: argparse.Namespace) -> int:
                   f"{report.get('completed', 0)} computed, "
                   f"{report.get('cached', 0)} cached, "
                   f"{report.get('failed', 0)} failed of {report.get('total', 0)}")
+            store_extras = record.get("store") or {}
+            if store_extras:
+                rendered = " ".join(
+                    f"{key}={store_extras[key]}" for key in sorted(store_extras)
+                )
+                print(f"      store: {rendered}")
             for key, outcome in (record.get("outcomes") or {}).items():
                 if not isinstance(outcome, dict) or outcome.get("status") != "failed":
                     continue
@@ -416,6 +423,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     exec_context.configure(
         jobs=args.jobs,
         use_cache=False if args.no_cache else None,
+        store=getattr(args, "store", None),
     )
 
     def _progress(event: dict) -> None:
@@ -503,9 +511,16 @@ def _explore_show(target: str) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
-    store = ResultStore()
+    from repro.exec.stores import make_store
+
+    try:
+        store = make_store(getattr(args, "store", None))
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.action == "stats":
         print(store.stats().describe())
+        print(store.describe_health())
     elif args.action == "clear":
         removed = store.clear()
         print(f"removed {removed} entries from {store.base}")
@@ -710,6 +725,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="bypass the persistent result store (always recompute)",
     )
     run_parser.add_argument(
+        "--store", default=None, metavar="BACKEND",
+        help="result-store backend: fs, sqlite, or a backend://path URL "
+        "(default: REPRO_STORE or fs)",
+    )
+    run_parser.add_argument(
         "--trace", action="store_true",
         help="write a structured event trace and metrics.json under "
         "<cache dir>/traces/<run-id>/ (simulated numbers are unchanged)",
@@ -757,6 +777,11 @@ def build_parser() -> argparse.ArgumentParser:
         target.add_argument(
             "--no-cache", action="store_true",
             help="bypass the persistent result store (always recompute)",
+        )
+        target.add_argument(
+            "--store", default=None, metavar="BACKEND",
+            help="result-store backend: fs, sqlite, or a backend://path URL "
+            "(default: REPRO_STORE or fs)",
         )
         target.add_argument(
             "-o", "--output", default=None, metavar="PATH",
@@ -833,6 +858,11 @@ def build_parser() -> argparse.ArgumentParser:
     cache_parser.add_argument(
         "--max-age-days", type=float, default=None, metavar="D",
         help="prune: drop entries older than D days",
+    )
+    cache_parser.add_argument(
+        "--store", default=None, metavar="BACKEND",
+        help="result-store backend: fs, sqlite, or a backend://path URL "
+        "(default: REPRO_STORE or fs)",
     )
     cache_parser.set_defaults(func=_cmd_cache)
 

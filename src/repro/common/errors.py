@@ -98,6 +98,16 @@ class ExecError(ReproError):
     """
 
 
+class StoreError(ExecError):
+    """The result store's backing medium is unusable for an operation.
+
+    Raised by the :mod:`repro.exec.stores` backends when the store is
+    unavailable, read-only, or persistently busy.  The scheduler treats
+    it as "compute without the cache" — a degraded mode it counts and
+    surfaces — never as a batch failure.
+    """
+
+
 class ValidationError(ExecError):
     """A simulation result violates an engine invariant.
 

@@ -32,3 +32,27 @@ def derive_seed(root_seed: int, label: str) -> int:
 def make_rng(root_seed: int = DEFAULT_SEED, label: str = "") -> np.random.Generator:
     """Create a deterministic generator for the given stream label."""
     return np.random.default_rng(derive_seed(root_seed, label))
+
+
+def backoff_delay(
+    round_no: int,
+    label: str,
+    base: float,
+    cap: float,
+    seed: int = DEFAULT_SEED,
+) -> float:
+    """Deterministic exponential backoff with seeded jitter.
+
+    Returns the delay before attempt round ``round_no`` (1-based):
+    ``min(cap, base * 2**(round_no-1))`` scaled by a jitter in
+    ``[0.5, 1.0]`` drawn from the ``(seed, label)`` stream — so a given
+    retry site backs off identically on every run and machine, while
+    distinct sites (different labels) never synchronize.  A
+    non-positive ``base`` disables backoff entirely.  Shared by the
+    scheduler's retry rounds, the sqlite busy-retry loop, and the
+    single-flight lease polling.
+    """
+    if base <= 0:
+        return 0.0
+    jitter = 0.5 + 0.5 * float(make_rng(seed, label).random())
+    return min(cap, base * (2 ** (round_no - 1))) * jitter

@@ -6,12 +6,19 @@ treatment:
 
 * :class:`~repro.exec.job.SimJob` — a frozen, hashable spec of one
   simulation with a stable content hash (:meth:`~repro.exec.job.SimJob.key`).
-* :class:`~repro.exec.store.ResultStore` — persists results by content
-  hash on disk, so repeated runs are incremental across invocations;
-  every read is invariant-checked and bad entries are quarantined.
+* :mod:`~repro.exec.stores` — pluggable result-store backends
+  (filesystem and sqlite) behind one abstract interface: results are
+  persisted by content hash so repeated runs are incremental across
+  invocations, every read is invariant-checked with bad entries
+  quarantined, writes are atomic and fsync-durable, and cross-process
+  compute leases arbitrate single-flight execution.  Select with
+  ``REPRO_STORE=fs|sqlite`` or ``run --store``.
 * :class:`~repro.exec.scheduler.Scheduler` — dedups a batch, serves
   cache hits, fans misses across a process pool with retry, backoff, a
-  progress hook, and graceful SIGINT/SIGTERM draining.
+  progress hook, and graceful SIGINT/SIGTERM draining; concurrent
+  schedulers sharing a store compute each missed job exactly once, and
+  a store that fails mid-run degrades to compute-without-cache instead
+  of aborting the batch.
 * :mod:`~repro.exec.journal` — an append-only JSONL manifest per run,
   enabling ``run --resume`` and ``runs list/show``.
 * :mod:`~repro.exec.validate` — the engine invariants every result must
@@ -50,9 +57,20 @@ from repro.exec.job import ENGINE_VERSION, SimJob, execute_job
 from repro.exec.journal import RunJournal, RunSummary, find_run, list_runs
 from repro.exec.scheduler import BatchReport, Scheduler
 from repro.exec.store import STORE_ENV_VAR, ResultStore, StoreStats
+from repro.exec.stores import (
+    AbstractResultStore,
+    FileResultStore,
+    Lease,
+    STORE_BACKEND_ENV_VAR,
+    SqliteResultStore,
+    StoreError,
+    from_url,
+    make_store,
+)
 from repro.exec.validate import check_result, validate_result
 
 __all__ = [
+    "AbstractResultStore",
     "BatchReport",
     "ENGINE_VERSION",
     "ExecConfig",
@@ -60,16 +78,23 @@ __all__ = [
     "FaultPlan",
     "FaultyExecute",
     "FaultyStore",
+    "FileResultStore",
     "InjectedFault",
+    "Lease",
     "ResultStore",
     "RunInterrupted",
     "RunJournal",
     "RunSummary",
+    "STORE_BACKEND_ENV_VAR",
     "STORE_ENV_VAR",
     "Scheduler",
     "SimJob",
+    "SqliteResultStore",
+    "StoreError",
     "StoreStats",
     "ValidationError",
+    "from_url",
+    "make_store",
     "active_journal",
     "check_result",
     "configure",

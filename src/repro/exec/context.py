@@ -12,7 +12,9 @@ examples, notebooks) inherit them too:
 
 * ``REPRO_JOBS`` — default worker count (``1`` = serial).
 * ``REPRO_CACHE_DIR`` — result-store location (see
-  :mod:`repro.exec.store`).
+  :mod:`repro.exec.stores`).
+* ``REPRO_STORE`` — store backend (``fs``/``sqlite`` or a
+  ``backend://path`` URL).
 
 Run-wide totals are accumulated across batches so the CLI can report
 completed/cached/failed counts per experiment.
@@ -29,7 +31,7 @@ from repro.exec.faults import FaultPlan, FaultyExecute, FaultyStore
 from repro.exec.job import SimJob, execute_job
 from repro.exec.journal import RunJournal
 from repro.exec.scheduler import BatchReport, ProgressHook, Scheduler
-from repro.exec.store import ResultStore
+from repro.exec.stores import AbstractResultStore, make_store
 from repro.sim.engine import SimResult
 
 #: Environment variable giving the default worker count.
@@ -61,6 +63,9 @@ class ExecConfig:
     #: When set, every executed job runs under cProfile and dumps its
     #: stats here (``run --profile``); empty/None disables profiling.
     profile_dir: Optional[str] = None
+    #: Store backend spec (``fs``/``sqlite`` or a ``backend://path``
+    #: URL); ``None`` defers to ``$REPRO_STORE``, defaulting to ``fs``.
+    store: Optional[str] = None
 
 
 _config: Optional[ExecConfig] = None
@@ -83,11 +88,13 @@ def configure(
     retries: Optional[int] = None,
     progress: Optional[ProgressHook] = None,
     profile_dir: Optional[str] = None,
+    store: Optional[str] = None,
 ) -> ExecConfig:
     """Override execution defaults; ``None`` leaves a field untouched.
 
-    ``profile_dir`` accepts the empty string to switch profiling back
-    off (``None`` means "leave as is", like every other field).
+    ``profile_dir`` and ``store`` accept the empty string to switch back
+    to their defaults (``None`` means "leave as is", like every other
+    field).
     """
     config = current()
     if jobs is not None:
@@ -104,6 +111,8 @@ def configure(
         config.progress = progress
     if profile_dir is not None:
         config.profile_dir = profile_dir or None
+    if store is not None:
+        config.store = store or None
     return config
 
 
@@ -130,15 +139,18 @@ def active_journal() -> Optional[RunJournal]:
     return _journal
 
 
-def resolve_store() -> Optional[ResultStore]:
+def resolve_store() -> Optional[AbstractResultStore]:
     """The result store per current config (``None`` when caching is off).
 
-    Built fresh each call so ``REPRO_CACHE_DIR`` changes (e.g. a test
-    pointing the store at a tmpdir) take effect immediately.
+    Built fresh each call so ``REPRO_CACHE_DIR``/``REPRO_STORE`` changes
+    (e.g. a test pointing the store at a tmpdir) take effect immediately.
+    The backend comes from :attr:`ExecConfig.store` when set, otherwise
+    the environment (see :func:`repro.exec.stores.make_store`).
     """
-    if not current().use_cache:
+    config = current()
+    if not config.use_cache:
         return None
-    return ResultStore()
+    return make_store(config.store)
 
 
 def get_scheduler(progress: Optional[ProgressHook] = None) -> Scheduler:

@@ -9,10 +9,16 @@ This module provides that as two wrappers:
   injects, per job, a worker **crash** (``SIGKILL`` of the worker
   process), a **hang** (a sleep long enough to trip the scheduler's
   per-job timeout), or a **flake** (a transient raised exception).
-* :class:`FaultyStore` wraps a :class:`~repro.exec.store.ResultStore`
-  and **corrupts** freshly written entries (truncated bytes or a
-  plausible-but-invalid payload), exercising the read-validate-quarantine
-  path.
+* :class:`FaultyStore` wraps any
+  :class:`~repro.exec.stores.base.AbstractResultStore` and injects
+  store-level faults through the backend-portable chaos hooks:
+  ``corrupt`` damages freshly written entries (truncated bytes or a
+  plausible-but-invalid payload, exercising read-validate-quarantine),
+  ``store.put.crash`` fails a write the way a crashed writer would,
+  ``store.get.corrupt`` damages an entry just before it is read,
+  ``store.lease.orphan`` drops a lease release (stranding the lease for
+  stale takeover), and ``sqlite.busy`` forces a ``database is locked``
+  error on the sqlite backend's next operation.
 
 Whether a given job is faulted is a pure function of the plan's seed and
 the job's content key (via :mod:`repro.common.rng`), so fault placement
@@ -41,15 +47,32 @@ from typing import Dict, Optional
 from repro.common.errors import ExecError
 from repro.common.rng import make_rng
 from repro.exec.job import SimJob, execute_job
-from repro.exec.store import ResultStore, default_store_dir
+from repro.exec.store import default_store_dir
 
 #: Environment variable holding the fault spec (``kind=rate,...``).
 FAULTS_ENV_VAR = "REPRO_FAULTS"
 #: Environment variable overriding the fault-placement seed (default 0).
 FAULTS_SEED_ENV_VAR = "REPRO_FAULTS_SEED"
 
-#: Injectable fault kinds.
-FAULT_KINDS = ("flake", "crash", "hang", "corrupt")
+#: Injectable executor-level fault kinds.
+EXECUTOR_FAULT_KINDS = ("flake", "crash", "hang", "corrupt")
+
+#: Injectable store-level fault kinds (dotted names; mapped onto
+#: :class:`FaultPlan` fields by replacing dots with underscores).
+STORE_FAULT_KINDS = (
+    "store.put.crash",
+    "store.get.corrupt",
+    "store.lease.orphan",
+    "sqlite.busy",
+)
+
+#: Every injectable fault kind.
+FAULT_KINDS = EXECUTOR_FAULT_KINDS + STORE_FAULT_KINDS
+
+
+def _fault_field(kind: str) -> str:
+    """The :class:`FaultPlan` field backing a (possibly dotted) kind."""
+    return kind.replace(".", "_")
 
 
 class InjectedFault(RuntimeError):
@@ -69,19 +92,23 @@ class FaultPlan:
     crash: float = 0.0
     hang: float = 0.0
     corrupt: float = 0.0
+    store_put_crash: float = 0.0
+    store_get_corrupt: float = 0.0
+    store_lease_orphan: float = 0.0
+    sqlite_busy: float = 0.0
     seed: int = 0
     hang_seconds: float = 30.0
     scratch: str = ""
 
     def __post_init__(self) -> None:
         for kind in FAULT_KINDS:
-            rate = getattr(self, kind)
+            rate = getattr(self, _fault_field(kind))
             if not 0.0 <= rate <= 1.0:
                 raise ExecError(f"fault rate {kind}={rate} outside [0, 1]")
 
     def active(self) -> bool:
         """Whether any fault kind has a non-zero rate."""
-        return any(getattr(self, kind) > 0.0 for kind in FAULT_KINDS)
+        return any(getattr(self, _fault_field(kind)) > 0.0 for kind in FAULT_KINDS)
 
     def _scratch_dir(self) -> Path:
         if self.scratch:
@@ -90,10 +117,14 @@ class FaultPlan:
 
     def selected(self, kind: str, key: str) -> bool:
         """Deterministic draw: is this (kind, job-key) pair faulted at all?"""
-        rate = getattr(self, kind)
+        rate = getattr(self, _fault_field(kind))
         if rate <= 0.0:
             return False
         return make_rng(self.seed, f"fault:{kind}:{key}").random() < rate
+
+    def fired(self, kind: str, key: str) -> bool:
+        """Whether the (kind, key) fault has already fired (marker exists)."""
+        return (self._scratch_dir() / f"{kind}-{key}").exists()
 
     def fire(self, kind: str, key: str) -> bool:
         """True exactly once per selected (kind, key) pair.
@@ -137,7 +168,7 @@ class FaultPlan:
                     f"unknown fault kind {name!r}; expected one of {FAULT_KINDS}"
                 )
             try:
-                rates[name] = float(raw) if raw else 1.0
+                rates[_fault_field(name)] = float(raw) if raw else 1.0
             except ValueError:
                 raise ExecError(f"bad fault rate in {chunk!r}") from None
         return cls(seed=seed, scratch=scratch, hang_seconds=hang_seconds, **rates)
@@ -191,17 +222,29 @@ class FaultyExecute:
 
 
 class FaultyStore:
-    """ResultStore proxy that corrupts entries as they are written.
+    """Result-store proxy that injects plan faults into store operations.
 
-    Every method delegates to the wrapped store; ``put`` additionally
-    damages the freshly written file for jobs the plan selects — either
-    truncating it mid-JSON or rewriting it as well-formed JSON whose
-    counters violate the engine invariants.  Both variants must be caught
-    by the store's read-side validation and end up in quarantine, never
-    served as a hit.
+    Every method delegates to the wrapped store.  Faulted operations use
+    the backend-portable chaos hooks on
+    :class:`~repro.exec.stores.base.AbstractResultStore`, so the same
+    plan works against the filesystem and sqlite backends alike:
+
+    * ``corrupt`` — after a successful ``put``, damage the entry in
+      place (alternating torn bytes / invariant-violating JSON by key).
+      Read-side validation must quarantine it, never serve it.
+    * ``store.put.crash`` — fail the ``put`` the way a crashed writer
+      would (raises ``StoreError``; the scheduler degrades, the batch
+      still completes).
+    * ``store.get.corrupt`` — damage an existing entry just before it
+      is read, exercising quarantine on the read path.
+    * ``store.lease.orphan`` — swallow a lease release, stranding the
+      lease on disk for another process's stale takeover.
+    * ``sqlite.busy`` — arm the sqlite backend's injected
+      ``database is locked`` error before the next operation (no-op on
+      backends without :meth:`inject_busy_once`).
     """
 
-    def __init__(self, store: ResultStore, plan: FaultPlan) -> None:
+    def __init__(self, store, plan: FaultPlan) -> None:
         self._store = store
         self._plan = plan
 
@@ -211,22 +254,47 @@ class FaultyStore:
     def __contains__(self, job: SimJob) -> bool:
         return job in self._store
 
-    def put(self, job: SimJob, result) -> Path:
-        """Persist via the wrapped store, then damage files the plan picks."""
-        path = self._store.put(job, result)
-        key = job.key()
-        if self._plan.fire("corrupt", key):
-            data = path.read_bytes()
-            if int(key[0], 16) % 2 == 0:
-                # Torn write: keep the front half of the payload.
-                path.write_bytes(data[: max(1, len(data) // 2)])
-            else:
-                # Silent bit-rot: parsable JSON, impossible counters.
-                import json
+    def _damage_mode(self, key: str) -> str:
+        """Alternate damage flavors deterministically by key."""
+        return "truncate" if int(key[0], 16) % 2 == 0 else "semantic"
 
-                payload = json.loads(data)
-                core = payload["result"]["cores"][0]
-                core["llc_misses"] = int(core["llc_accesses"]) + 1
-                path.write_text(json.dumps(payload, sort_keys=True),
-                                encoding="utf-8")
-        return path
+    def _arm_busy(self, key: str) -> None:
+        """Fire ``sqlite.busy`` if planned and the backend supports it."""
+        inject = getattr(self._store, "inject_busy_once", None)
+        if inject is not None and self._plan.fire("sqlite.busy", key):
+            inject()
+
+    def get(self, job: SimJob):
+        """Read via the wrapped store, damaging planned entries first."""
+        key = job.key()
+        self._arm_busy(key)
+        if (
+            self._plan.selected("store.get.corrupt", key)
+            and not self._plan.fired("store.get.corrupt", key)
+        ):
+            # Only burn the fire-once marker when there is an entry to
+            # damage, so a cold get doesn't waste the fault.
+            try:
+                if self._store.corrupt_entry(key, self._damage_mode(key)):
+                    self._plan.fire("store.get.corrupt", key)
+            except OSError:
+                pass
+        return self._store.get(job)
+
+    def put(self, job: SimJob, result):
+        """Persist via the wrapped store, injecting planned write faults."""
+        key = job.key()
+        self._arm_busy(key)
+        if self._plan.fire("store.put.crash", key):
+            # Raises StoreError after leaving crash debris behind.
+            return self._store.simulate_crash_mid_put(job, result)
+        locator = self._store.put(job, result)
+        if self._plan.fire("corrupt", key):
+            self._store.corrupt_entry(key, self._damage_mode(key))
+        return locator
+
+    def release_lease(self, lease) -> bool:
+        """Release via the wrapped store, orphaning planned leases."""
+        if self._plan.fire("store.lease.orphan", lease.key):
+            return False
+        return self._store.release_lease(lease)

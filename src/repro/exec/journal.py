@@ -163,6 +163,14 @@ class RunJournal:
                 "retried": report.retried,
                 "wall_time": report.wall_time,
             }
+            # Robustness counters ride in a separate key, and only when
+            # something actually happened — a healthy run's batch
+            # records stay byte-identical to pre-lease journals.
+            store_fields = getattr(report, "store_fields", None)
+            if store_fields is not None:
+                extras = store_fields()
+                if extras:
+                    payload["store"] = extras
         self.append(payload)
 
     def record_experiment_end(

@@ -48,10 +48,10 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.common.errors import ExecError, RunInterrupted
-from repro.common.rng import DEFAULT_SEED, make_rng
+from repro.common.errors import ExecError, RunInterrupted, StoreError
+from repro.common.rng import backoff_delay
 from repro.exec.job import SimJob, execute_job
-from repro.exec.store import ResultStore
+from repro.exec.stores.base import DEFAULT_LEASE_TTL, AbstractResultStore
 from repro.exec.validate import validate_result
 from repro.obs.trace import active_tracer
 from repro.sim.engine import SimResult
@@ -77,6 +77,14 @@ class BatchReport:
     retried: int = 0
     interrupted: int = 0
     wall_time: float = 0.0
+    #: Store operations that failed and fell back to compute-without-cache.
+    degraded: int = 0
+    #: Missed jobs found leased by another process (single-flight waits).
+    lease_contentions: int = 0
+    #: Leases acquired by displacing a stale (crashed/hung) holder.
+    stale_takeovers: int = 0
+    #: SQLITE_BUSY retries absorbed by the store during this batch.
+    busy_retries: int = 0
 
     @property
     def cache_fraction(self) -> float:
@@ -94,7 +102,29 @@ class BatchReport:
         )
         if self.interrupted:
             line += f", {self.interrupted} interrupted"
+        if self.lease_contentions:
+            line += f", {self.lease_contentions} lease waits"
+        if self.stale_takeovers:
+            line += f", {self.stale_takeovers} lease takeovers"
+        if self.busy_retries:
+            line += f", {self.busy_retries} busy retries"
+        if self.degraded:
+            line += f", {self.degraded} store fallbacks (degraded)"
         return f"{line} in {self.wall_time:.2f}s"
+
+    def store_fields(self) -> Dict[str, int]:
+        """Nonzero robustness counters, for journal ``batch`` records.
+
+        Empty for a healthy batch, so journals written before the
+        pluggable-store work render identically.
+        """
+        fields = {
+            "degraded": self.degraded,
+            "lease_contentions": self.lease_contentions,
+            "stale_takeovers": self.stale_takeovers,
+            "busy_retries": self.busy_retries,
+        }
+        return {name: value for name, value in fields.items() if value}
 
     def merge(self, other: "BatchReport") -> None:
         """Accumulate another report into this one (for run-wide totals)."""
@@ -105,6 +135,10 @@ class BatchReport:
         self.retried += other.retried
         self.interrupted += other.interrupted
         self.wall_time += other.wall_time
+        self.degraded += other.degraded
+        self.lease_contentions += other.lease_contentions
+        self.stale_takeovers += other.stale_takeovers
+        self.busy_retries += other.busy_retries
 
 
 def _report_fields(report: "BatchReport") -> Dict[str, object]:
@@ -117,6 +151,10 @@ def _report_fields(report: "BatchReport") -> Dict[str, object]:
         "retried": report.retried,
         "interrupted": report.interrupted,
         "wall_time": report.wall_time,
+        "degraded": report.degraded,
+        "lease_contentions": report.lease_contentions,
+        "stale_takeovers": report.stale_takeovers,
+        "busy_retries": report.busy_retries,
     }
 
 
@@ -152,6 +190,8 @@ class _JobState:
     #: what the job died of.
     violations: Optional[List[str]] = None
     snapshot: Optional[Dict[str, object]] = None
+    #: Compute lease held for this job (single-flight), if any.
+    lease: Optional[object] = None
 
 
 class _Interrupted(Exception):
@@ -183,12 +223,19 @@ class Scheduler:
         backoff_base: first retry-round delay in seconds (0 disables
             backoff entirely).
         backoff_cap: upper bound on any single retry-round delay.
+        singleflight: coordinate with other processes through store
+            leases so N schedulers missing the same job compute it once
+            (requires a store that implements leases; silently off
+            otherwise).
+        lease_ttl: heartbeat time-to-live for held leases; a holder that
+            stops heartbeating for this long is presumed dead and its
+            lease taken over.
     """
 
     def __init__(
         self,
         jobs: int = 1,
-        store: Optional[ResultStore] = None,
+        store: Optional[AbstractResultStore] = None,
         timeout: Optional[float] = None,
         retries: int = 1,
         progress: Optional[ProgressHook] = None,
@@ -197,11 +244,15 @@ class Scheduler:
         validate: bool = True,
         backoff_base: float = 0.05,
         backoff_cap: float = 2.0,
+        singleflight: bool = True,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
     ) -> None:
         if retries < 0:
             raise ExecError(f"retries must be >= 0, got {retries}")
         if backoff_base < 0 or backoff_cap < 0:
             raise ExecError("backoff_base and backoff_cap must be >= 0")
+        if lease_ttl <= 0:
+            raise ExecError(f"lease_ttl must be positive, got {lease_ttl}")
         self.jobs = max(1, int(jobs))
         self.store = store
         self.timeout = timeout
@@ -212,12 +263,17 @@ class Scheduler:
         self.validate = validate
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
+        self.singleflight = singleflight
+        self.lease_ttl = lease_ttl
         self.last_report: Optional[BatchReport] = None
         #: Per-unique-job outcome of the last run, keyed by content hash:
         #: ``{"status", "attempts", "error", "label", "occurrences"}``.
         self.last_outcomes: Dict[str, Dict[str, object]] = {}
         self._interrupted = False
         self._tracer = None
+        #: Leases currently held by this scheduler, keyed by job key.
+        self._held_leases: Dict[str, object] = {}
+        self._next_renew = 0.0
 
     # ------------------------------------------------------------------
 
@@ -286,6 +342,127 @@ class Scheduler:
             outcome["snapshot"] = state.snapshot
 
     # ------------------------------------------------------------------
+    # Guarded store access and single-flight leases
+    #
+    # Every store interaction is wrapped: a store that turns read-only,
+    # busy beyond retries, or unavailable mid-run must never abort the
+    # batch.  The failure is counted (``report.degraded``), surfaced in
+    # the trace, and the scheduler computes without the cache.
+    # ------------------------------------------------------------------
+
+    def _note_degraded(self, report: BatchReport, op: str, exc: Exception) -> None:
+        """Count a failed store operation and surface it in the trace."""
+        report.degraded += 1
+        if self._tracer is not None:
+            self._tracer.event(
+                "exec.store_degraded", op=op, error=repr(exc)[:200]
+            )
+
+    def _store_get(self, job: SimJob, report: BatchReport) -> Optional[SimResult]:
+        """Cache lookup that degrades to a miss on store failure."""
+        if self.store is None:
+            return None
+        try:
+            return self.store.get(job)
+        except (StoreError, OSError) as exc:
+            self._note_degraded(report, "get", exc)
+            return None
+
+    def _store_put(
+        self, state: _JobState, result: SimResult, report: BatchReport
+    ) -> None:
+        """Persist a fresh result; a failed put degrades, never aborts."""
+        if self.store is None:
+            return
+        try:
+            self.store.put(state.job, result)
+        except (StoreError, OSError) as exc:
+            self._note_degraded(report, "put", exc)
+
+    def _lease_acquire(self, state: _JobState, report: BatchReport) -> bool:
+        """Try to claim the compute for a missed job.
+
+        True means this scheduler computes the job itself — because it
+        won the lease, the store has no lease support, single-flight is
+        off, or the store degraded (computing locally is always safe:
+        jobs are pure functions).  False means another live process
+        holds the lease and we should wait for its ``put``.
+        """
+        if self.store is None or not self.singleflight:
+            return True
+        acquire = getattr(self.store, "acquire_lease", None)
+        if acquire is None:
+            return True
+        try:
+            lease = acquire(state.job.key(), ttl=self.lease_ttl)
+        except (StoreError, OSError) as exc:
+            self._note_degraded(report, "lease", exc)
+            return True
+        if lease is None:
+            return False
+        state.lease = lease
+        self._held_leases[state.job.key()] = lease
+        if getattr(lease, "takeover", False):
+            report.stale_takeovers += 1
+        return True
+
+    def _lease_release(self, state: _JobState) -> None:
+        """Drop a held lease (after the put, or on failure/interrupt)."""
+        lease = state.lease
+        state.lease = None
+        if lease is None or self.store is None:
+            return
+        self._held_leases.pop(getattr(lease, "key", ""), None)
+        try:
+            self.store.release_lease(lease)
+        except (StoreError, OSError):
+            pass
+
+    def _release_all_leases(self) -> None:
+        """Best-effort release of every held lease (interrupt/exit path)."""
+        if self.store is None:
+            self._held_leases.clear()
+            return
+        for lease in list(self._held_leases.values()):
+            try:
+                self.store.release_lease(lease)
+            except (StoreError, OSError):
+                continue
+        self._held_leases.clear()
+
+    def _maybe_renew_leases(self) -> None:
+        """Heartbeat held leases so long computations are not stolen.
+
+        Rate-limited to once per ``lease_ttl / 3`` and called from the
+        future-polling and inline loops, so a healthy holder's lease
+        never goes stale mid-compute.
+        """
+        if not self._held_leases or self.store is None:
+            return
+        now = time.monotonic()
+        if now < self._next_renew:
+            return
+        self._next_renew = now + self.lease_ttl / 3.0
+        renew = getattr(self.store, "renew_lease", None)
+        if renew is None:
+            return
+        for lease in list(self._held_leases.values()):
+            try:
+                renew(lease)
+            except (StoreError, OSError):
+                continue
+
+    def _poll_delay(self, poll_no: int, waiting: Sequence[_JobState]) -> float:
+        """Deterministic backoff between polls for a foreign lease's put."""
+        label = "lease-wait:%d:%s" % (
+            poll_no,
+            ",".join(sorted(state.job.key() for state in waiting)[:4]),
+        )
+        base = self.backoff_base if self.backoff_base > 0 else 0.01
+        cap = self.backoff_cap if self.backoff_cap > 0 else 0.5
+        return backoff_delay(poll_no, label, base, cap)
+
+    # ------------------------------------------------------------------
     # Interrupt plumbing
     # ------------------------------------------------------------------
 
@@ -328,6 +505,7 @@ class Scheduler:
         while True:
             if self._interrupted:
                 raise _Interrupted()
+            self._maybe_renew_leases()
             remaining = None if deadline is None else deadline - time.monotonic()
             if remaining is not None and remaining <= 0:
                 raise FutureTimeout()
@@ -346,14 +524,11 @@ class Scheduler:
         (via :mod:`repro.common.rng`), so a given batch backs off
         identically on every run and machine.
         """
-        if self.backoff_base <= 0:
-            return 0.0
         label = "retry-backoff:%d:%s" % (
             round_no,
             ",".join(sorted(state.job.key() for state in retry)[:4]),
         )
-        jitter = 0.5 + 0.5 * float(make_rng(DEFAULT_SEED, label).random())
-        return min(self.backoff_cap, self.backoff_base * (2 ** (round_no - 1))) * jitter
+        return backoff_delay(round_no, label, self.backoff_base, self.backoff_cap)
 
     def run(self, batch: Sequence[SimJob]) -> List[Optional[SimResult]]:
         """Resolve every job of ``batch``, in order.
@@ -404,14 +579,18 @@ class Scheduler:
             self._emit("failed", state, done, report.total)
 
         installed = self._install_signal_handlers()
+        store_counters = getattr(self.store, "counters", None)
+        busy_before = store_counters.busy_retries if store_counters else 0
+        self._held_leases = {}
+        self._next_renew = 0.0
         try:
-            # Cache-first pass.
+            # Cache-first pass (a degraded store reads as all-miss).
             misses: List[_JobState] = []
             for state in unique:
                 if self._interrupted:
                     misses.append(state)
                     continue
-                stored = self.store.get(state.job) if self.store is not None else None
+                stored = self._store_get(state.job, report)
                 if stored is not None:
                     settle(state, stored, cached=True)
                 else:
@@ -427,43 +606,89 @@ class Scheduler:
                         label=state.job.describe(),
                     )
 
-            # Execute misses, retrying per round with backoff between rounds.
-            pending = list(misses)
-            round_no = 0
-            while pending and not self._interrupted:
-                round_no += 1
-                use_pool = self.jobs > 1 and len(pending) > 1
-                completed, retry, failed, interrupted = (
-                    self._run_pool(pending) if use_pool else self._run_inline(pending)
-                )
-                for state, result in completed:
-                    if self.store is not None:
-                        self.store.put(state.job, result)
-                    settle(state, result, cached=False)
-                for state in failed:
-                    fail(state)
-                if interrupted:
-                    # Interrupted and retry-routed jobs alike stay
-                    # unresolved; the journal marks them for the resume.
-                    break
-                if retry:
-                    delay = self._backoff_delay(round_no, retry)
-                    for state in retry:
-                        report.retried += 1
-                        self._emit(
-                            "retry",
-                            state,
-                            report.cached + report.completed + report.failed,
-                            report.total,
-                            attempt=state.attempts,
-                            elapsed=state.timings[-1] if state.timings else None,
-                            backoff=delay,
+            # Single-flight partition: take a keyed compute lease per
+            # miss.  Winners execute; losers wait for the winner's put
+            # (or take over once the winner's lease goes stale).
+            pending: List[_JobState] = []
+            waiting: List[_JobState] = []
+            for state in misses:
+                if self._interrupted or self._lease_acquire(state, report):
+                    pending.append(state)
+                else:
+                    report.lease_contentions += 1
+                    waiting.append(state)
+                    if self._tracer is not None:
+                        self._tracer.event(
+                            "exec.job",
+                            status="lease_wait",
+                            key=state.job.key()[:12],
+                            label=state.job.describe(),
                         )
-                    if delay > 0:
-                        time.sleep(delay)
-                pending = retry
+
+            # Execute owned misses (retrying per round with backoff) and
+            # poll leased-elsewhere misses between rounds.
+            round_no = 0
+            poll_no = 0
+            while (pending or waiting) and not self._interrupted:
+                if pending:
+                    round_no += 1
+                    use_pool = self.jobs > 1 and len(pending) > 1
+                    completed, retry, failed, interrupted = (
+                        self._run_pool(pending) if use_pool
+                        else self._run_inline(pending)
+                    )
+                    for state, result in completed:
+                        self._store_put(state, result, report)
+                        self._lease_release(state)
+                        settle(state, result, cached=False)
+                    for state in failed:
+                        self._lease_release(state)
+                        fail(state)
+                    if interrupted:
+                        # Interrupted and retry-routed jobs alike stay
+                        # unresolved; the journal marks them for the resume.
+                        break
+                    if retry:
+                        delay = self._backoff_delay(round_no, retry)
+                        for state in retry:
+                            report.retried += 1
+                            self._emit(
+                                "retry",
+                                state,
+                                report.cached + report.completed + report.failed,
+                                report.total,
+                                attempt=state.attempts,
+                                elapsed=state.timings[-1] if state.timings else None,
+                                backoff=delay,
+                            )
+                        if delay > 0:
+                            time.sleep(delay)
+                    pending = retry
+                if waiting and not self._interrupted:
+                    poll_no += 1
+                    still_waiting: List[_JobState] = []
+                    for state in waiting:
+                        stored = self._store_get(state.job, report)
+                        if stored is not None:
+                            # The winner's put landed: served as a hit.
+                            settle(state, stored, cached=True)
+                        elif self._lease_acquire(state, report):
+                            # The holder released without publishing
+                            # (failed), went stale (crashed), or the
+                            # store degraded: compute it ourselves.
+                            pending.append(state)
+                        else:
+                            still_waiting.append(state)
+                    waiting = still_waiting
+                    if waiting and not pending:
+                        delay = self._poll_delay(poll_no, waiting)
+                        if delay > 0:
+                            time.sleep(delay)
         finally:
+            self._release_all_leases()
             self._restore_signal_handlers(installed)
+        if store_counters is not None:
+            report.busy_retries = store_counters.busy_retries - busy_before
 
         if self._interrupted:
             # Anything not yet settled or failed is left for the resume.
@@ -557,6 +782,7 @@ class Scheduler:
             if self._interrupted:
                 interrupted.extend(pending[position:])
                 break
+            self._maybe_renew_leases()
             attempt_started = time.monotonic()
             try:
                 result = self.execute(state.job)

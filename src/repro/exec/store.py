@@ -1,319 +1,39 @@
-"""Persistent content-addressed result store.
+"""Backwards-compatible shim over the :mod:`repro.exec.stores` package.
 
-Results live as one JSON file per job under a versioned root::
-
-    <cache dir>/v<ENGINE_VERSION>/<key[:2]>/<key>.json
-
-where ``<cache dir>`` is ``$REPRO_CACHE_DIR`` if set, else
-``~/.cache/nucache-repro``.  The two-character fan-out keeps directories
-small for multi-thousand-entry stores.  Writes are atomic
-(temp file + ``os.replace``) so concurrent workers and interrupted runs
-never leave a half-written entry.
-
-Every read is validated: the payload must parse, round-trip into a
-:class:`~repro.sim.engine.SimResult`, and satisfy the engine invariants
-of :mod:`repro.exec.validate` against the requesting job.  An entry that
-fails any of this is **quarantined** — moved to ``<cache dir>/quarantine/``
-with a ``.reason`` sidecar rather than deleted, so a corrupted result is
-never served, never silently destroyed, and always available for
-post-mortem.  The scheduler sees a miss and recomputes.
+The single-backend ``ResultStore`` grew into a pluggable package —
+:class:`~repro.exec.stores.fs.FileResultStore` (the old behavior, made
+crash-safe and lease-aware) plus
+:class:`~repro.exec.stores.sqlite.SqliteResultStore` — behind
+:class:`~repro.exec.stores.base.AbstractResultStore`.  This module keeps
+every historical import working: ``ResultStore`` *is* the filesystem
+backend, and the helpers (``default_store_dir``, ``STORE_ENV_VAR``,
+``StoreStats``) re-export from their new homes.  New code should import
+from :mod:`repro.exec.stores` directly.
 """
 
 from __future__ import annotations
 
-import json
-import os
-import time
-from dataclasses import dataclass
-from pathlib import Path
-from typing import Iterator, Optional, Union
+from repro.exec.stores.base import (  # noqa: F401 - re-exports
+    STORE_BACKEND_ENV_VAR,
+    STORE_ENV_VAR,
+    StoreStats,
+    default_store_dir,
+)
+from repro.exec.stores.fs import (  # noqa: F401 - re-exports
+    FileResultStore,
+    QUARANTINE_DIR_NAME,
+    TMP_LEAK_AGE_SECONDS,
+)
 
-from repro.common.errors import ReproError
-from repro.exec.job import ENGINE_VERSION, SimJob
-from repro.exec.validate import validate_result
-from repro.sim.engine import SimResult
+#: The historical name: the filesystem backend.
+ResultStore = FileResultStore
 
-#: Environment variable overriding the store location.
-STORE_ENV_VAR = "REPRO_CACHE_DIR"
-
-#: Subdirectory (of the store base) holding quarantined entries.
-QUARANTINE_DIR_NAME = "quarantine"
-
-#: Temp files older than this are considered leaked by a crashed writer
-#: and swept by :meth:`ResultStore.prune`.
-TMP_LEAK_AGE_SECONDS = 3600.0
-
-
-def default_store_dir() -> Path:
-    """Resolve the store root from the environment (unversioned)."""
-    override = os.environ.get(STORE_ENV_VAR)
-    if override:
-        return Path(override)
-    return Path.home() / ".cache" / "nucache-repro"
-
-
-@dataclass(frozen=True)
-class StoreStats:
-    """Summary of the store's on-disk footprint."""
-
-    root: str
-    entries: int
-    total_bytes: int
-    quarantined: int = 0
-
-    def describe(self) -> str:
-        """One-line human-readable summary."""
-        kib = self.total_bytes / 1024.0
-        line = f"{self.entries} entries, {kib:.1f} KiB in {self.root}"
-        if self.quarantined:
-            line += f"; {self.quarantined} quarantined"
-        return line
-
-
-class ResultStore:
-    """Maps job content hashes to serialized simulation results."""
-
-    def __init__(self, root: Optional[Union[str, Path]] = None) -> None:
-        base = Path(root) if root is not None else default_store_dir()
-        self.base = base
-        self.root = base / f"v{ENGINE_VERSION}"
-        self.quarantine_dir = base / QUARANTINE_DIR_NAME
-
-    def _path(self, key: str) -> Path:
-        return self.root / key[:2] / f"{key}.json"
-
-    def _entries(self) -> Iterator[Path]:
-        if not self.root.is_dir():
-            return iter(())
-        return self.root.glob("*/*.json")
-
-    def get(self, job: SimJob) -> Optional[SimResult]:
-        """Stored result for ``job``, or ``None`` on miss.
-
-        An entry that is corrupted (truncated write, bad JSON, missing
-        fields) *or* fails the engine invariants is quarantined and
-        reported as a miss, so callers fall back to recomputation and a
-        bad result is never served.
-        """
-        path = self._path(job.key())
-        try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
-        except FileNotFoundError:
-            return None
-        except (OSError, ValueError):
-            self.quarantine(path, "unreadable or corrupt JSON")
-            return None
-        try:
-            result = SimResult.from_dict(payload["result"])
-        except (ValueError, KeyError, TypeError, AttributeError, IndexError,
-                ReproError):
-            self.quarantine(path, "malformed result payload")
-            return None
-        violations = validate_result(result, job)
-        if violations:
-            self.quarantine(path, "; ".join(violations[:3]))
-            return None
-        return result
-
-    def __contains__(self, job: SimJob) -> bool:
-        # Delegates to the full read-and-validate path so membership
-        # never disagrees with get() over a corrupted or invalid entry.
-        return self.get(job) is not None
-
-    def put(self, job: SimJob, result: SimResult) -> Path:
-        """Persist ``result`` under ``job``'s key (atomic replace)."""
-        path = self._path(job.key())
-        path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {
-            "engine_version": ENGINE_VERSION,
-            "created": time.time(),
-            "job": job.to_dict(),
-            "result": result.to_dict(),
-        }
-        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        try:
-            tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
-            os.replace(tmp, path)
-        finally:
-            # A failure between write and replace must not strand the temp
-            # file (after a successful replace the unlink is a no-op).
-            try:
-                tmp.unlink()
-            except OSError:
-                pass
-        return path
-
-    # ------------------------------------------------------------------
-    # Quarantine
-    # ------------------------------------------------------------------
-
-    def quarantine(self, path: Path, reason: str) -> Optional[Path]:
-        """Move a bad entry aside (never delete) with a ``.reason`` sidecar.
-
-        Returns the quarantined path, or ``None`` if the entry vanished
-        or could not be moved.
-        """
-        if not path.is_file():
-            return None
-        try:
-            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
-            dest = self.quarantine_dir / path.name
-            bump = 0
-            while dest.exists():
-                bump += 1
-                dest = self.quarantine_dir / f"{path.name}.{bump}"
-            os.replace(path, dest)
-        except OSError:
-            return None
-        sidecar = dest.with_name(dest.name + ".reason")
-        try:
-            sidecar.write_text(
-                f"quarantined {time.strftime('%Y-%m-%d %H:%M:%S')}\n"
-                f"from: {path}\nreason: {reason}\n",
-                encoding="utf-8",
-            )
-        except OSError:
-            pass
-        return dest
-
-    def quarantined_entries(self) -> Iterator[Path]:
-        """Quarantined entry files (excluding ``.reason`` sidecars)."""
-        if not self.quarantine_dir.is_dir():
-            return iter(())
-        return (
-            path
-            for path in self.quarantine_dir.iterdir()
-            if path.is_file() and not path.name.endswith(".reason")
-        )
-
-    # ------------------------------------------------------------------
-    # Maintenance
-    # ------------------------------------------------------------------
-
-    def stats(self) -> StoreStats:
-        """Entry count and byte footprint of the current version's store.
-
-        Leaked ``.tmp`` files are never counted as entries; quarantined
-        entries are surfaced separately.
-        """
-        entries = 0
-        total = 0
-        for path in self._entries():
-            try:
-                total += path.stat().st_size
-                entries += 1
-            except OSError:
-                continue
-        return StoreStats(
-            root=str(self.root),
-            entries=entries,
-            total_bytes=total,
-            quarantined=sum(1 for _ in self.quarantined_entries()),
-        )
-
-    def clear(self) -> int:
-        """Delete every entry of every version.  Returns entries removed.
-
-        Also drops quarantined entries and any leaked temp files.
-        """
-        removed = 0
-        if not self.base.is_dir():
-            return removed
-        for path in self.base.glob("v*/*/*.json"):
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                continue
-        if self.quarantine_dir.is_dir():
-            for path in list(self.quarantine_dir.iterdir()):
-                try:
-                    path.unlink()
-                except OSError:
-                    continue
-            try:
-                self.quarantine_dir.rmdir()
-            except OSError:
-                pass
-        self._sweep_tmp_files(min_age_seconds=0.0)
-        self._sweep_empty_dirs()
-        return removed
-
-    def prune(
-        self,
-        max_age_days: Optional[float] = None,
-        keep: Optional[int] = None,
-    ) -> int:
-        """Trim the store; returns the number of entries removed.
-
-        Entries from *older engine versions* are always removed (they can
-        never be read again), as are temp files leaked by crashed writers.
-        Then, of the current version's entries, drop those older than
-        ``max_age_days`` and — if ``keep`` is given — all but the
-        ``keep`` most recently touched.
-        """
-        removed = 0
-        if self.base.is_dir():
-            for version_dir in self.base.glob("v*"):
-                if version_dir.name == self.root.name:
-                    continue
-                for path in version_dir.glob("*/*.json"):
-                    try:
-                        path.unlink()
-                        removed += 1
-                    except OSError:
-                        continue
-        self._sweep_tmp_files(min_age_seconds=TMP_LEAK_AGE_SECONDS)
-        aged = []
-        for path in self._entries():
-            try:
-                aged.append((path.stat().st_mtime, path))
-            except OSError:
-                continue
-        aged.sort(reverse=True)  # newest first
-        cutoff = None if max_age_days is None else time.time() - max_age_days * 86400.0
-        for rank, (mtime, path) in enumerate(aged):
-            too_old = cutoff is not None and mtime < cutoff
-            overflow = keep is not None and rank >= keep
-            if too_old or overflow:
-                try:
-                    path.unlink()
-                    removed += 1
-                except OSError:
-                    continue
-        self._sweep_empty_dirs()
-        return removed
-
-    def _sweep_tmp_files(self, min_age_seconds: float) -> int:
-        """Remove ``.{name}.{pid}.tmp`` files stranded by crashed writers.
-
-        ``min_age_seconds`` guards against racing a live writer mid-put;
-        ``clear`` passes 0 (nothing should be writing during a clear).
-        """
-        if not self.base.is_dir():
-            return 0
-        swept = 0
-        now = time.time()
-        for path in self.base.glob("v*/*/.*.tmp"):
-            try:
-                if now - path.stat().st_mtime < min_age_seconds:
-                    continue
-                path.unlink()
-                swept += 1
-            except OSError:
-                continue
-        return swept
-
-    def _sweep_empty_dirs(self) -> None:
-        if not self.base.is_dir():
-            return
-        for version_dir in sorted(self.base.glob("v*"), reverse=True):
-            for bucket in sorted(version_dir.glob("*"), reverse=True):
-                try:
-                    bucket.rmdir()
-                except OSError:
-                    pass
-            try:
-                version_dir.rmdir()
-            except OSError:
-                pass
+__all__ = [
+    "QUARANTINE_DIR_NAME",
+    "ResultStore",
+    "STORE_BACKEND_ENV_VAR",
+    "STORE_ENV_VAR",
+    "StoreStats",
+    "TMP_LEAK_AGE_SECONDS",
+    "default_store_dir",
+]

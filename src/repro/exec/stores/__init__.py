@@ -1,0 +1,118 @@
+"""Pluggable result-store backends behind one abstract interface.
+
+One abstract API (:class:`~repro.exec.stores.base.AbstractResultStore`),
+many backends:
+
+* ``fs`` — :class:`~repro.exec.stores.fs.FileResultStore`: one JSON
+  file per entry, fsync-durable atomic writes, ``O_EXCL`` lease files.
+  The default, and byte-compatible with stores written before the
+  backend split.
+* ``sqlite`` — :class:`~repro.exec.stores.sqlite.SqliteResultStore`:
+  one WAL-mode database file, busy-retry with seeded backoff,
+  transactional leases.
+
+Select a backend with ``$REPRO_STORE`` (a backend name or a
+:func:`from_url` spec), the ``--store`` CLI flag, or programmatically
+via :func:`make_store`.  See ``docs/store.md``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Optional, Type
+
+from repro.common.errors import StoreError
+from repro.exec.stores.base import (
+    AbstractResultStore,
+    DEFAULT_LEASE_TTL,
+    Lease,
+    STORE_BACKEND_ENV_VAR,
+    STORE_ENV_VAR,
+    StoreCounters,
+    StoreStats,
+    decode_entry,
+    default_store_dir,
+    encode_entry,
+    lease_owner_id,
+)
+from repro.exec.stores.fs import (
+    FileResultStore,
+    QUARANTINE_DIR_NAME,
+    TMP_LEAK_AGE_SECONDS,
+)
+from repro.exec.stores.sqlite import SqliteResultStore
+
+#: Registered backends, keyed by the name ``REPRO_STORE``/``--store`` use.
+BACKENDS: Dict[str, Type[AbstractResultStore]] = {
+    "fs": FileResultStore,
+    "sqlite": SqliteResultStore,
+}
+
+
+def from_url(url: str) -> AbstractResultStore:
+    """Build a store from a ``backend://path`` spec.
+
+    * ``fs:///var/cache/nucache`` — filesystem store rooted there.
+    * ``sqlite:///var/cache/nucache`` — sqlite store whose database
+      lives at ``<path>/store.sqlite``; a path ending in ``.sqlite`` or
+      ``.db`` names the database file itself.
+    * ``fs://`` / ``sqlite://`` — the default store directory
+      (``$REPRO_CACHE_DIR`` or ``~/.cache/nucache-repro``).
+    """
+    scheme, separator, raw_path = url.partition("://")
+    if not separator:
+        raise StoreError(
+            f"store URL {url!r} has no scheme; expected "
+            f"one of {sorted(BACKENDS)} + '://path'"
+        )
+    if scheme not in BACKENDS:
+        raise StoreError(
+            f"unknown store backend {scheme!r}; expected one of "
+            f"{sorted(BACKENDS)}"
+        )
+    root = Path(raw_path) if raw_path else None
+    if scheme == "sqlite" and root is not None and root.suffix in (".sqlite", ".db"):
+        return SqliteResultStore(root=root.parent, db_path=root)
+    return BACKENDS[scheme](root)  # type: ignore[call-arg]
+
+
+def make_store(spec: Optional[str] = None) -> AbstractResultStore:
+    """Build the configured result store.
+
+    ``spec`` is a backend name (``fs``/``sqlite``) or a :func:`from_url`
+    spec; when ``None``, ``$REPRO_STORE`` decides, defaulting to ``fs``.
+    The store root always honours ``$REPRO_CACHE_DIR``.
+    """
+    chosen = spec or os.environ.get(STORE_BACKEND_ENV_VAR) or "fs"
+    if "://" in chosen:
+        return from_url(chosen)
+    if chosen not in BACKENDS:
+        raise StoreError(
+            f"unknown store backend {chosen!r}; expected one of "
+            f"{sorted(BACKENDS)} or a URL like 'sqlite:///path'"
+        )
+    return BACKENDS[chosen]()
+
+
+__all__ = [
+    "AbstractResultStore",
+    "BACKENDS",
+    "DEFAULT_LEASE_TTL",
+    "FileResultStore",
+    "Lease",
+    "QUARANTINE_DIR_NAME",
+    "STORE_BACKEND_ENV_VAR",
+    "STORE_ENV_VAR",
+    "SqliteResultStore",
+    "StoreCounters",
+    "StoreError",
+    "StoreStats",
+    "TMP_LEAK_AGE_SECONDS",
+    "decode_entry",
+    "default_store_dir",
+    "encode_entry",
+    "from_url",
+    "lease_owner_id",
+    "make_store",
+]

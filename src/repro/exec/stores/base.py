@@ -1,0 +1,329 @@
+"""The abstract result-store contract every backend implements.
+
+A result store maps a :class:`~repro.exec.job.SimJob`'s content hash to
+a serialized :class:`~repro.sim.engine.SimResult`.  Backends differ in
+*where* the bytes live (a directory of JSON files, a sqlite database),
+but they all honour the same contract:
+
+* **Validated reads** — :meth:`AbstractResultStore.get` never serves a
+  corrupted or invariant-violating entry; bad entries are quarantined
+  (set aside for post-mortem, never deleted) and reported as a miss.
+* **Atomic, durable writes** — a crash mid-``put`` can never publish a
+  torn entry.
+* **Cross-process leases** — :meth:`~AbstractResultStore.acquire_lease`
+  arbitrates which of several processes computes a missed job
+  (single-flight); leases carry owner + heartbeat metadata so a crashed
+  holder's lease goes *stale* and can be taken over.
+* **Failure is a signal, not an abort** — anything that makes the
+  backend unusable raises :class:`StoreError`, which the scheduler
+  treats as "compute without the cache", never as a batch failure.
+
+The shared payload codec (:func:`encode_entry` / :func:`decode_entry`)
+lives here so every backend applies byte-identical validation and
+quarantine semantics.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import os
+import socket
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.common.errors import ReproError, StoreError
+from repro.exec.job import ENGINE_VERSION, SimJob
+from repro.exec.validate import validate_result
+from repro.sim.engine import SimResult
+
+#: Environment variable overriding the store location.
+STORE_ENV_VAR = "REPRO_CACHE_DIR"
+
+#: Environment variable selecting the store backend (``fs``/``sqlite``
+#: or a ``from_url`` spec).
+STORE_BACKEND_ENV_VAR = "REPRO_STORE"
+
+#: Default time-to-live of a lease heartbeat: a lease whose heartbeat is
+#: older than this is *stale* and may be taken over by another process.
+DEFAULT_LEASE_TTL = 30.0
+
+
+def default_store_dir() -> Path:
+    """Resolve the store root from the environment (unversioned)."""
+    override = os.environ.get(STORE_ENV_VAR)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "nucache-repro"
+
+
+def lease_owner_id() -> str:
+    """This process's lease-owner identity (``host:pid``).
+
+    Stable for the process lifetime, unique across the machines that can
+    share a store directory, and human-readable in postmortems.
+    """
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
+# ----------------------------------------------------------------------
+# Shared payload codec (identical validation semantics per backend)
+# ----------------------------------------------------------------------
+
+
+def encode_entry(job: SimJob, result: SimResult) -> str:
+    """Serialize one store entry (job + result + provenance) to JSON."""
+    return json.dumps(
+        {
+            "engine_version": ENGINE_VERSION,
+            "created": time.time(),
+            "job": job.to_dict(),
+            "result": result.to_dict(),
+        },
+        sort_keys=True,
+    )
+
+
+def decode_entry(
+    text: str, job: SimJob
+) -> Tuple[Optional[SimResult], Optional[str]]:
+    """Parse and validate one stored entry against its job.
+
+    Returns ``(result, None)`` for a healthy entry and ``(None, reason)``
+    for anything else — unparsable bytes, a malformed payload, or a
+    result that fails the engine invariants.  Both backends funnel every
+    read through this, so "what counts as corrupt" can never diverge
+    between them.
+    """
+    try:
+        payload = json.loads(text)
+    except ValueError:
+        return None, "unreadable or corrupt JSON"
+    try:
+        result = SimResult.from_dict(payload["result"])
+    except (ValueError, KeyError, TypeError, AttributeError, IndexError,
+            ReproError):
+        return None, "malformed result payload"
+    violations = validate_result(result, job)
+    if violations:
+        return None, "; ".join(violations[:3])
+    return result, None
+
+
+# ----------------------------------------------------------------------
+# Leases
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Lease:
+    """A held compute lease for one job key.
+
+    Attributes:
+        key: the job content hash the lease covers.
+        owner: the holder's :func:`lease_owner_id`.
+        acquired: wall-clock acquisition time.
+        ttl: heartbeat time-to-live in seconds; a heartbeat older than
+            this makes the lease stale (eligible for takeover).
+        takeover: whether acquiring it displaced a stale lease.
+    """
+
+    key: str
+    owner: str
+    acquired: float
+    ttl: float
+    takeover: bool = False
+
+
+@dataclass
+class StoreCounters:
+    """In-process robustness counters a store accumulates as it runs.
+
+    These are *process-local* (they reset with the process); durable
+    state — active leases, quarantined entries — is reported by
+    :meth:`AbstractResultStore.stats` instead.
+    """
+
+    lease_contentions: int = 0
+    stale_takeovers: int = 0
+    busy_retries: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Counters as a plain dict (sorted rendering is the caller's job)."""
+        return {
+            "busy_retries": self.busy_retries,
+            "lease_contentions": self.lease_contentions,
+            "stale_takeovers": self.stale_takeovers,
+        }
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Summary of the store's durable footprint and lease state."""
+
+    root: str
+    entries: int
+    total_bytes: int
+    quarantined: int = 0
+    backend: str = "fs"
+    leases_active: int = 0
+    leases_stale: int = 0
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        kib = self.total_bytes / 1024.0
+        line = f"{self.entries} entries, {kib:.1f} KiB in {self.root}"
+        if self.quarantined:
+            line += f"; {self.quarantined} quarantined"
+        if self.leases_active or self.leases_stale:
+            line += (
+                f"; {self.leases_active} active lease(s)"
+                f" ({self.leases_stale} stale)"
+            )
+        return line
+
+
+class AbstractResultStore(abc.ABC):
+    """One abstract API, many backends (filesystem, sqlite, ...).
+
+    Concrete stores implement the durable operations; membership,
+    counters, and the health rendering are shared here.  Every method
+    that touches the backing medium raises :class:`StoreError` (or an
+    ``OSError`` for the filesystem) when the medium is unusable — the
+    scheduler degrades to compute-without-cache rather than aborting.
+    """
+
+    #: Short backend name (``fs``, ``sqlite``) used by stats and the CLI.
+    backend: str = "abstract"
+
+    def __init__(self) -> None:
+        self.counters = StoreCounters()
+
+    # -- entries -------------------------------------------------------
+
+    @abc.abstractmethod
+    def get(self, job: SimJob) -> Optional[SimResult]:
+        """Stored result for ``job``, or ``None`` on miss.
+
+        A corrupted or invariant-violating entry is quarantined and
+        reported as a miss; an entry deleted concurrently (a racing
+        ``prune``) is a clean miss, never an exception.
+        """
+
+    @abc.abstractmethod
+    def put(self, job: SimJob, result: SimResult) -> object:
+        """Persist ``result`` under ``job``'s key, atomically and durably.
+
+        Returns a backend-specific locator (a :class:`~pathlib.Path` for
+        the filesystem store, the key for sqlite).
+        """
+
+    def __contains__(self, job: SimJob) -> bool:
+        """Validated membership: never disagrees with :meth:`get`."""
+        return self.get(job) is not None
+
+    # -- maintenance ---------------------------------------------------
+
+    @abc.abstractmethod
+    def stats(self) -> StoreStats:
+        """Entry count, byte footprint, quarantine and lease census."""
+
+    @abc.abstractmethod
+    def clear(self) -> int:
+        """Delete every entry (all engine versions); returns the count."""
+
+    @abc.abstractmethod
+    def prune(
+        self,
+        max_age_days: Optional[float] = None,
+        keep: Optional[int] = None,
+    ) -> int:
+        """Trim old-version / aged / overflow entries; returns the count."""
+
+    @abc.abstractmethod
+    def quarantined_entries(self) -> Iterator[object]:
+        """Identifiers of quarantined entries (paths or keys)."""
+
+    # -- leases --------------------------------------------------------
+
+    @abc.abstractmethod
+    def acquire_lease(
+        self, key: str, ttl: float = DEFAULT_LEASE_TTL
+    ) -> Optional[Lease]:
+        """Try to take the compute lease for ``key``.
+
+        Returns the :class:`Lease` on success (including a takeover of a
+        stale lease, flagged via :attr:`Lease.takeover` and counted in
+        :attr:`StoreCounters.stale_takeovers`), or ``None`` when another
+        live process holds it (counted in
+        :attr:`StoreCounters.lease_contentions`).
+        """
+
+    @abc.abstractmethod
+    def renew_lease(self, lease: Lease) -> bool:
+        """Refresh a held lease's heartbeat; False if no longer ours."""
+
+    @abc.abstractmethod
+    def release_lease(self, lease: Lease) -> bool:
+        """Drop a held lease; False if it already expired or moved on."""
+
+    @abc.abstractmethod
+    def active_leases(self) -> List[Tuple[str, str, bool]]:
+        """Current ``(key, owner, is_stale)`` lease census."""
+
+    # -- chaos hooks ---------------------------------------------------
+
+    @abc.abstractmethod
+    def corrupt_entry(self, key: str, mode: str = "truncate") -> bool:
+        """Damage a stored entry in place (chaos testing only).
+
+        ``mode`` is ``"truncate"`` (torn bytes) or ``"semantic"``
+        (well-formed JSON whose counters violate the engine invariants).
+        Returns whether an entry existed to damage.  Both damage modes
+        must be caught by read-side validation and quarantined.
+        """
+
+    def simulate_crash_mid_put(self, job: SimJob, result: SimResult) -> None:
+        """Fail a ``put`` the way a crashed writer would (chaos testing).
+
+        The default raises :class:`StoreError` without publishing
+        anything; the filesystem backend additionally strands a torn
+        temp file, the debris a real mid-write crash leaves for
+        ``prune`` to sweep.
+        """
+        raise StoreError(
+            f"injected store crash mid-put for {job.key()[:12]} "
+            f"({self.backend} backend)"
+        )
+
+    # -- health rendering ----------------------------------------------
+
+    def health(self) -> Dict[str, int]:
+        """Deterministic robustness census for ``cache stats``.
+
+        Combines the durable lease census with the process-local
+        counters; every field is always present (zeros included) so the
+        rendering is byte-stable.
+        """
+        leases = self.active_leases()
+        stale = sum(1 for _, _, is_stale in leases if is_stale)
+        census: Dict[str, int] = {
+            "leases_active": len(leases) - stale,
+            "leases_stale": stale,
+        }
+        census.update(self.counters.as_dict())
+        return census
+
+    def describe_health(self) -> str:
+        """One-line ``key=value`` robustness summary (sorted, byte-stable)."""
+        census = self.health()
+        rendered = " ".join(f"{key}={census[key]}" for key in sorted(census))
+        return f"robustness [{self.backend}]: {rendered}"
+
+
+def stale_after(heartbeat: float, ttl: float, now: Optional[float] = None) -> bool:
+    """Whether a lease heartbeat of age ``ttl`` seconds is stale."""
+    moment = time.time() if now is None else now
+    return (moment - heartbeat) > ttl

@@ -1,0 +1,496 @@
+"""Sqlite result store: one file, WAL mode, busy-retry with backoff.
+
+The whole store is a single ``store.sqlite`` file under the store base
+(``$REPRO_CACHE_DIR``), which makes it trivially portable between
+machines and naturally atomic: sqlite's WAL journal gives crash-safe
+writes without temp-file choreography, and ``synchronous=FULL`` pins
+the same durability the filesystem backend gets from fsync.
+
+Concurrency is sqlite's single-writer model: a writer holding the lock
+makes other writers fail with ``SQLITE_BUSY``.  Every operation here
+runs through a retry loop — a small native busy timeout plus seeded
+exponential backoff (the same deterministic backoff helper the
+scheduler's retry rounds use) — and counts its retries in
+:attr:`~repro.exec.stores.base.StoreCounters.busy_retries`.  An
+operation that stays busy past the retry budget (or hits any other
+sqlite error: read-only database, missing file, corruption) raises
+:class:`~repro.common.errors.StoreError`, which the scheduler treats as
+"compute without the cache".
+
+Schema (all tables keyed by job content hash):
+
+* ``entries(key, engine_version, created, payload)`` — live results.
+* ``quarantine(key, created, reason, payload)`` — entries that failed
+  read-side validation; kept for post-mortem, never served.
+* ``leases(key, owner, pid, created, heartbeat, ttl)`` — compute leases
+  with heartbeat metadata; stale rows are taken over inside one
+  ``BEGIN IMMEDIATE`` transaction, so takeover is race-free.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+from pathlib import Path
+from typing import Callable, Iterator, List, Optional, Tuple, TypeVar, Union
+
+from repro.common.errors import StoreError
+from repro.common.rng import backoff_delay
+from repro.exec.job import ENGINE_VERSION, SimJob
+from repro.exec.stores.base import (
+    AbstractResultStore,
+    DEFAULT_LEASE_TTL,
+    Lease,
+    StoreStats,
+    decode_entry,
+    default_store_dir,
+    encode_entry,
+    lease_owner_id,
+    stale_after,
+)
+from repro.sim.engine import SimResult
+
+#: Default database file name under the store base directory.
+DB_FILE_NAME = "store.sqlite"
+
+#: Native sqlite busy timeout per attempt (milliseconds); our own
+#: backoff loop sits on top of this.
+BUSY_TIMEOUT_MS = 100
+
+#: Retry-loop budget for SQLITE_BUSY before the op degrades.
+BUSY_RETRIES = 6
+
+#: First backoff delay between busy retries (seconds, doubled per round).
+BUSY_BACKOFF_BASE = 0.02
+
+#: Cap on any single busy-retry delay (seconds).
+BUSY_BACKOFF_CAP = 0.5
+
+_T = TypeVar("_T")
+
+_SCHEMA = (
+    """CREATE TABLE IF NOT EXISTS entries (
+        key TEXT PRIMARY KEY,
+        engine_version INTEGER NOT NULL,
+        created REAL NOT NULL,
+        payload TEXT NOT NULL
+    )""",
+    """CREATE TABLE IF NOT EXISTS quarantine (
+        key TEXT NOT NULL,
+        created REAL NOT NULL,
+        reason TEXT NOT NULL,
+        payload TEXT NOT NULL
+    )""",
+    """CREATE TABLE IF NOT EXISTS leases (
+        key TEXT PRIMARY KEY,
+        owner TEXT NOT NULL,
+        pid INTEGER NOT NULL,
+        created REAL NOT NULL,
+        heartbeat REAL NOT NULL,
+        ttl REAL NOT NULL
+    )""",
+)
+
+
+def _is_busy(exc: sqlite3.OperationalError) -> bool:
+    message = str(exc).lower()
+    return "locked" in message or "busy" in message
+
+
+class SqliteResultStore(AbstractResultStore):
+    """Maps job content hashes to serialized results in one sqlite file."""
+
+    backend = "sqlite"
+
+    def __init__(
+        self,
+        root: Optional[Union[str, Path]] = None,
+        db_path: Optional[Union[str, Path]] = None,
+        busy_retries: int = BUSY_RETRIES,
+    ) -> None:
+        super().__init__()
+        base = Path(root) if root is not None else default_store_dir()
+        self.base = base
+        self.path = Path(db_path) if db_path is not None else base / DB_FILE_NAME
+        self.busy_retries = busy_retries
+        self._conn: Optional[sqlite3.Connection] = None
+        self._conn_pid: Optional[int] = None
+        self._inject_busy = 0
+
+    # ------------------------------------------------------------------
+    # Connection and retry plumbing
+    # ------------------------------------------------------------------
+
+    def _connection(self) -> sqlite3.Connection:
+        """The process-local connection (reopened after a fork)."""
+        if self._conn is not None and self._conn_pid == os.getpid():
+            return self._conn
+        if self._conn is not None:
+            # Forked child: the parent's connection must not be shared.
+            try:
+                self._conn.close()
+            except sqlite3.Error:
+                pass
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            conn = sqlite3.connect(
+                str(self.path), timeout=BUSY_TIMEOUT_MS / 1000.0,
+                isolation_level=None,
+            )
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=FULL")
+            for statement in _SCHEMA:
+                conn.execute(statement)
+        except (OSError, sqlite3.Error) as exc:
+            raise StoreError(f"cannot open sqlite store {self.path}: {exc}") from exc
+        self._conn = conn
+        self._conn_pid = os.getpid()
+        return conn
+
+    def close(self) -> None:
+        """Close the underlying connection (reopened lazily on next use)."""
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except sqlite3.Error:
+                pass
+            self._conn = None
+            self._conn_pid = None
+
+    def inject_busy_once(self, times: int = 1) -> None:
+        """Make the next ``times`` operations see SQLITE_BUSY (chaos hook)."""
+        self._inject_busy += times
+
+    def _retry(self, label: str, operation: Callable[[sqlite3.Connection], _T]) -> _T:
+        """Run ``operation`` with deterministic busy-retry backoff.
+
+        ``SQLITE_BUSY``/``SQLITE_LOCKED`` trigger up to
+        :attr:`busy_retries` retries with seeded exponential backoff
+        (counted in ``counters.busy_retries``); any other sqlite failure
+        — read-only database, vanished file, corruption — degrades
+        immediately to :class:`~repro.common.errors.StoreError`.
+        """
+        round_no = 0
+        while True:
+            try:
+                if self._inject_busy > 0:
+                    self._inject_busy -= 1
+                    raise sqlite3.OperationalError("database is locked (injected)")
+                return operation(self._connection())
+            except sqlite3.OperationalError as exc:
+                if not _is_busy(exc):
+                    raise StoreError(f"sqlite {label} failed: {exc}") from exc
+                round_no += 1
+                if round_no > self.busy_retries:
+                    raise StoreError(
+                        f"sqlite {label} still busy after "
+                        f"{self.busy_retries} retries: {exc}"
+                    ) from exc
+                self.counters.busy_retries += 1
+                delay = backoff_delay(
+                    round_no, f"sqlite-busy:{label}",
+                    BUSY_BACKOFF_BASE, BUSY_BACKOFF_CAP,
+                )
+                if delay > 0:
+                    time.sleep(delay)
+            except sqlite3.Error as exc:
+                raise StoreError(f"sqlite {label} failed: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # Entries
+    # ------------------------------------------------------------------
+
+    def get(self, job: SimJob) -> Optional[SimResult]:
+        """Stored result for ``job``, or ``None`` on miss.
+
+        Validation and quarantine semantics are identical to the
+        filesystem backend: a corrupted or invariant-violating row is
+        moved to the ``quarantine`` table and reported as a miss.
+        """
+        key = job.key()
+
+        def _select(conn: sqlite3.Connection) -> Optional[str]:
+            row = conn.execute(
+                "SELECT payload FROM entries "
+                "WHERE key = ? AND engine_version = ?",
+                (key, ENGINE_VERSION),
+            ).fetchone()
+            return None if row is None else str(row[0])
+
+        payload = self._retry("get", _select)
+        if payload is None:
+            return None
+        result, reason = decode_entry(payload, job)
+        if result is None:
+            self._quarantine_row(key, payload, reason or "corrupt entry")
+            return None
+        return result
+
+    def put(self, job: SimJob, result: SimResult) -> str:
+        """Persist ``result`` under ``job``'s key; returns the key."""
+        key = job.key()
+        payload = encode_entry(job, result)
+
+        def _insert(conn: sqlite3.Connection) -> str:
+            conn.execute(
+                "INSERT OR REPLACE INTO entries "
+                "(key, engine_version, created, payload) VALUES (?, ?, ?, ?)",
+                (key, ENGINE_VERSION, time.time(), payload),
+            )
+            return key
+
+        return self._retry("put", _insert)
+
+    def _quarantine_row(self, key: str, payload: str, reason: str) -> None:
+        """Move a bad entry to the quarantine table (kept, never served)."""
+
+        def _move(conn: sqlite3.Connection) -> None:
+            conn.execute("BEGIN IMMEDIATE")
+            try:
+                conn.execute(
+                    "INSERT INTO quarantine (key, created, reason, payload) "
+                    "VALUES (?, ?, ?, ?)",
+                    (key, time.time(), reason, payload),
+                )
+                conn.execute("DELETE FROM entries WHERE key = ?", (key,))
+                conn.execute("COMMIT")
+            except BaseException:
+                conn.execute("ROLLBACK")
+                raise
+
+        try:
+            self._retry("quarantine", _move)
+        except StoreError:
+            # Quarantining is best-effort; the caller already treats the
+            # entry as a miss either way.
+            pass
+
+    def quarantined_entries(self) -> Iterator[Tuple[str, str]]:
+        """Quarantined ``(key, reason)`` rows."""
+
+        def _select(conn: sqlite3.Connection) -> List[Tuple[str, str]]:
+            rows = conn.execute(
+                "SELECT key, reason FROM quarantine ORDER BY created"
+            ).fetchall()
+            return [(str(key), str(reason)) for key, reason in rows]
+
+        return iter(self._retry("quarantined", _select))
+
+    # ------------------------------------------------------------------
+    # Leases
+    # ------------------------------------------------------------------
+
+    def acquire_lease(
+        self, key: str, ttl: float = DEFAULT_LEASE_TTL
+    ) -> Optional[Lease]:
+        """Take the compute lease for ``key`` in one write transaction.
+
+        ``BEGIN IMMEDIATE`` serializes contenders, so the
+        check-stale-then-write sequence is atomic: exactly one process
+        inserts (or takes over a stale row), everyone else sees a live
+        foreign lease and backs off.
+        """
+        owner = lease_owner_id()
+
+        def _acquire(conn: sqlite3.Connection) -> Optional[Lease]:
+            now = time.time()
+            conn.execute("BEGIN IMMEDIATE")
+            try:
+                row = conn.execute(
+                    "SELECT owner, heartbeat, ttl FROM leases WHERE key = ?",
+                    (key,),
+                ).fetchone()
+                takeover = False
+                if row is not None:
+                    holder, heartbeat, holder_ttl = row
+                    if not stale_after(float(heartbeat), float(holder_ttl), now):
+                        conn.execute("COMMIT")
+                        self.counters.lease_contentions += 1
+                        return None
+                    takeover = True
+                conn.execute(
+                    "INSERT OR REPLACE INTO leases "
+                    "(key, owner, pid, created, heartbeat, ttl) "
+                    "VALUES (?, ?, ?, ?, ?, ?)",
+                    (key, owner, os.getpid(), now, now, ttl),
+                )
+                conn.execute("COMMIT")
+            except BaseException:
+                conn.execute("ROLLBACK")
+                raise
+            if takeover:
+                self.counters.stale_takeovers += 1
+            return Lease(
+                key=key, owner=owner, acquired=now, ttl=ttl, takeover=takeover
+            )
+
+        return self._retry("acquire_lease", _acquire)
+
+    def renew_lease(self, lease: Lease) -> bool:
+        """Refresh the heartbeat of a lease we hold; False if displaced."""
+
+        def _renew(conn: sqlite3.Connection) -> bool:
+            cursor = conn.execute(
+                "UPDATE leases SET heartbeat = ? WHERE key = ? AND owner = ?",
+                (time.time(), lease.key, lease.owner),
+            )
+            return cursor.rowcount > 0
+
+        return self._retry("renew_lease", _renew)
+
+    def release_lease(self, lease: Lease) -> bool:
+        """Drop a lease we hold; False if it expired or was taken over."""
+
+        def _release(conn: sqlite3.Connection) -> bool:
+            cursor = conn.execute(
+                "DELETE FROM leases WHERE key = ? AND owner = ?",
+                (lease.key, lease.owner),
+            )
+            return cursor.rowcount > 0
+
+        return self._retry("release_lease", _release)
+
+    def active_leases(self) -> List[Tuple[str, str, bool]]:
+        """Current ``(key, owner, is_stale)`` lease census."""
+
+        def _select(conn: sqlite3.Connection) -> List[Tuple[str, str, bool]]:
+            rows = conn.execute(
+                "SELECT key, owner, heartbeat, ttl FROM leases ORDER BY key"
+            ).fetchall()
+            return [
+                (str(key), str(owner),
+                 stale_after(float(heartbeat), float(ttl)))
+                for key, owner, heartbeat, ttl in rows
+            ]
+
+        return self._retry("active_leases", _select)
+
+    # ------------------------------------------------------------------
+    # Chaos hooks
+    # ------------------------------------------------------------------
+
+    def corrupt_entry(self, key: str, mode: str = "truncate") -> bool:
+        """Damage a stored entry in place (chaos testing only)."""
+
+        def _damage(conn: sqlite3.Connection) -> bool:
+            row = conn.execute(
+                "SELECT payload FROM entries WHERE key = ?", (key,)
+            ).fetchone()
+            if row is None:
+                return False
+            payload = str(row[0])
+            if mode == "semantic":
+                parsed = json.loads(payload)
+                core = parsed["result"]["cores"][0]
+                core["llc_misses"] = int(core["llc_accesses"]) + 1
+                damaged = json.dumps(parsed, sort_keys=True)
+            else:
+                damaged = payload[: max(1, len(payload) // 2)]
+            conn.execute(
+                "UPDATE entries SET payload = ? WHERE key = ?", (damaged, key)
+            )
+            return True
+
+        return self._retry("corrupt_entry", _damage)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def stats(self) -> StoreStats:
+        """Entry count, payload footprint, quarantine and lease census."""
+
+        def _collect(conn: sqlite3.Connection) -> Tuple[int, int, int]:
+            entries, total = conn.execute(
+                "SELECT COUNT(*), COALESCE(SUM(LENGTH(payload)), 0) "
+                "FROM entries WHERE engine_version = ?",
+                (ENGINE_VERSION,),
+            ).fetchone()
+            quarantined = conn.execute(
+                "SELECT COUNT(*) FROM quarantine"
+            ).fetchone()[0]
+            return int(entries), int(total), int(quarantined)
+
+        entries, total, quarantined = self._retry("stats", _collect)
+        leases = self.active_leases()
+        stale = sum(1 for _, _, is_stale in leases if is_stale)
+        return StoreStats(
+            root=str(self.path),
+            entries=entries,
+            total_bytes=total,
+            quarantined=quarantined,
+            backend=self.backend,
+            leases_active=len(leases) - stale,
+            leases_stale=stale,
+        )
+
+    def clear(self) -> int:
+        """Delete every entry of every version.  Returns entries removed.
+
+        Also drops quarantined rows and leases; transactional, so two
+        concurrent maintainers never interleave destructively.
+        """
+
+        def _clear(conn: sqlite3.Connection) -> int:
+            conn.execute("BEGIN IMMEDIATE")
+            try:
+                removed = conn.execute(
+                    "SELECT COUNT(*) FROM entries"
+                ).fetchone()[0]
+                conn.execute("DELETE FROM entries")
+                conn.execute("DELETE FROM quarantine")
+                conn.execute("DELETE FROM leases")
+                conn.execute("COMMIT")
+            except BaseException:
+                conn.execute("ROLLBACK")
+                raise
+            return int(removed)
+
+        return self._retry("clear", _clear)
+
+    def prune(
+        self,
+        max_age_days: Optional[float] = None,
+        keep: Optional[int] = None,
+    ) -> int:
+        """Trim the store; returns the number of entries removed.
+
+        Rows from older engine versions are always removed, as are stale
+        leases.  Then, of the current version's rows, drop those older
+        than ``max_age_days`` and — if ``keep`` is given — all but the
+        ``keep`` most recently written.  One transaction, so a racing
+        reader sees either the old or the new store, never a half-prune.
+        """
+
+        def _prune(conn: sqlite3.Connection) -> int:
+            now = time.time()
+            conn.execute("BEGIN IMMEDIATE")
+            try:
+                removed = conn.execute(
+                    "DELETE FROM entries WHERE engine_version != ?",
+                    (ENGINE_VERSION,),
+                ).rowcount
+                if max_age_days is not None:
+                    removed += conn.execute(
+                        "DELETE FROM entries WHERE created < ?",
+                        (now - max_age_days * 86400.0,),
+                    ).rowcount
+                if keep is not None:
+                    removed += conn.execute(
+                        "DELETE FROM entries WHERE key NOT IN ("
+                        "SELECT key FROM entries "
+                        "ORDER BY created DESC, key LIMIT ?)",
+                        (keep,),
+                    ).rowcount
+                conn.execute(
+                    "DELETE FROM leases WHERE (? - heartbeat) > ttl", (now,)
+                )
+                conn.execute("COMMIT")
+            except BaseException:
+                conn.execute("ROLLBACK")
+                raise
+            return int(removed)
+
+        return self._retry("prune", _prune)

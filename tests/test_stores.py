@@ -1,0 +1,446 @@
+"""Backend contract tests for the pluggable result store.
+
+Every test in :class:`TestStoreContract` runs against both backends —
+the filesystem store and the sqlite store must be observably
+interchangeable: same hit/miss behavior, same validation and quarantine
+semantics, same lease protocol, same maintenance operations.  Backend
+mechanics that cannot be expressed portably (fsync ordering, temp-file
+debris, WAL busy retries) get their own backend-specific classes below.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import time
+
+import pytest
+
+from repro.common.errors import StoreError
+from repro.exec import SimJob, execute_job
+from repro.exec.stores import (
+    BACKENDS,
+    FileResultStore,
+    SqliteResultStore,
+    from_url,
+    make_store,
+)
+from repro.exec.stores.base import STORE_BACKEND_ENV_VAR
+
+ACCESSES = 4_000
+
+
+def _make_store(backend: str, base):
+    return BACKENDS[backend](base)
+
+
+@pytest.fixture(params=sorted(BACKENDS))
+def any_store(request, tmp_path):
+    """One store per registered backend, rooted in a fresh tmpdir."""
+    return _make_store(request.param, tmp_path / "store")
+
+
+def _job(seed: int = 1) -> SimJob:
+    return SimJob.single("hmmer_like", "lru", ACCESSES, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# The portable contract (parametrized over every backend)
+# ----------------------------------------------------------------------
+
+
+class TestStoreContract:
+    def test_miss_then_hit_round_trip(self, any_store):
+        job = _job()
+        assert any_store.get(job) is None
+        assert job not in any_store
+        result = execute_job(job)
+        any_store.put(job, result)
+        assert job in any_store
+        assert any_store.get(job) == result
+
+    def test_truncated_entry_quarantined_never_served(self, any_store):
+        job = _job()
+        any_store.put(job, execute_job(job))
+        assert any_store.corrupt_entry(job.key(), mode="truncate")
+        assert any_store.get(job) is None
+        assert any_store.stats().quarantined == 1
+        assert any_store.get(job) is None  # stays a miss, not resurrected
+
+    def test_semantic_corruption_quarantined(self, any_store):
+        """Parsable JSON with impossible counters must not be served."""
+        job = _job()
+        any_store.put(job, execute_job(job))
+        assert any_store.corrupt_entry(job.key(), mode="semantic")
+        assert any_store.get(job) is None
+        assert any_store.stats().quarantined == 1
+        assert list(any_store.quarantined_entries())
+
+    def test_corrupt_entry_without_entry_reports_false(self, any_store):
+        assert not any_store.corrupt_entry("0" * 64)
+
+    def test_put_after_quarantine_recovers(self, any_store):
+        job = _job()
+        result = execute_job(job)
+        any_store.put(job, result)
+        any_store.corrupt_entry(job.key())
+        assert any_store.get(job) is None
+        any_store.put(job, result)
+        assert any_store.get(job) == result
+        assert any_store.stats().quarantined == 1  # kept for post-mortem
+
+    def test_simulated_crash_mid_put_publishes_nothing(self, any_store):
+        job = _job()
+        with pytest.raises(StoreError):
+            any_store.simulate_crash_mid_put(job, execute_job(job))
+        assert any_store.get(job) is None
+        assert any_store.stats().entries == 0
+        # The store stays fully usable afterwards.
+        any_store.put(job, execute_job(job))
+        assert any_store.get(job) is not None
+
+    def test_lease_acquire_contention_release(self, any_store):
+        key = _job().key()
+        lease = any_store.acquire_lease(key, ttl=30.0)
+        assert lease is not None and not lease.takeover
+        assert any_store.acquire_lease(key, ttl=30.0) is None  # held
+        assert any_store.counters.lease_contentions == 1
+        assert any_store.renew_lease(lease)
+        assert any_store.release_lease(lease)
+        again = any_store.acquire_lease(key, ttl=30.0)
+        assert again is not None and not again.takeover
+
+    def test_stale_lease_taken_over(self, any_store, monkeypatch):
+        import repro.exec.stores.fs as fs_mod
+        import repro.exec.stores.sqlite as sq_mod
+
+        key = _job().key()
+        # A foreign process takes the lease, then crashes (no heartbeat).
+        holder_mod = fs_mod if any_store.backend == "fs" else sq_mod
+        monkeypatch.setattr(holder_mod, "lease_owner_id", lambda: "ghost:999")
+        crashed = any_store.acquire_lease(key, ttl=0.05)
+        monkeypatch.undo()
+        assert crashed is not None and crashed.owner == "ghost:999"
+        time.sleep(0.1)
+        taken = any_store.acquire_lease(key, ttl=30.0)
+        assert taken is not None and taken.takeover
+        assert taken.owner != "ghost:999"
+        assert any_store.counters.stale_takeovers == 1
+        # The displaced holder can no longer renew or release.
+        assert not any_store.renew_lease(crashed)
+        assert not any_store.release_lease(crashed)
+
+    def test_active_leases_census(self, any_store):
+        keys = sorted(_job(seed).key() for seed in (1, 2))
+        any_store.acquire_lease(keys[0], ttl=30.0)
+        any_store.acquire_lease(keys[1], ttl=0.05)
+        time.sleep(0.1)
+        census = dict(
+            (key, is_stale) for key, _owner, is_stale in any_store.active_leases()
+        )
+        assert census == {keys[0]: False, keys[1]: True}
+        stats = any_store.stats()
+        assert stats.leases_active == 1
+        assert stats.leases_stale == 1
+
+    def test_prune_sweeps_stale_leases_only(self, any_store):
+        live_key = _job(1).key()
+        stale_key = _job(2).key()
+        live = any_store.acquire_lease(live_key, ttl=30.0)
+        any_store.acquire_lease(stale_key, ttl=0.05)
+        time.sleep(0.1)
+        any_store.prune(keep=100)
+        held = {key for key, _owner, _stale in any_store.active_leases()}
+        assert held == {live_key}
+        assert any_store.release_lease(live)
+
+    def test_clear_drops_entries_and_leases(self, any_store):
+        job = _job()
+        any_store.put(job, execute_job(job))
+        any_store.acquire_lease(job.key(), ttl=30.0)
+        assert any_store.clear() == 1
+        assert any_store.stats().entries == 0
+        assert any_store.active_leases() == []
+
+    def test_prune_keep(self, any_store):
+        result = execute_job(_job())
+        for seed in range(5):
+            any_store.put(_job(seed), result)
+        assert any_store.prune(keep=2) == 3
+        assert any_store.stats().entries == 2
+
+    def test_health_is_deterministic_and_complete(self, any_store):
+        census = any_store.health()
+        assert census == {
+            "busy_retries": 0,
+            "lease_contentions": 0,
+            "leases_active": 0,
+            "leases_stale": 0,
+            "stale_takeovers": 0,
+        }
+        line = any_store.describe_health()
+        assert line == (
+            f"robustness [{any_store.backend}]: busy_retries=0 "
+            "lease_contentions=0 leases_active=0 leases_stale=0 "
+            "stale_takeovers=0"
+        )
+
+    def test_stats_names_backend(self, any_store):
+        assert any_store.stats().backend == any_store.backend
+
+
+# ----------------------------------------------------------------------
+# Backend selection: make_store / from_url / $REPRO_STORE
+# ----------------------------------------------------------------------
+
+
+class TestBackendSelection:
+    def test_default_is_fs(self, monkeypatch):
+        monkeypatch.delenv(STORE_BACKEND_ENV_VAR, raising=False)
+        assert isinstance(make_store(), FileResultStore)
+
+    def test_env_selects_sqlite(self, monkeypatch):
+        monkeypatch.setenv(STORE_BACKEND_ENV_VAR, "sqlite")
+        assert isinstance(make_store(), SqliteResultStore)
+
+    def test_spec_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(STORE_BACKEND_ENV_VAR, "sqlite")
+        assert isinstance(make_store("fs"), FileResultStore)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(StoreError):
+            make_store("redis")
+
+    def test_url_roots_fs_store(self, tmp_path):
+        store = from_url(f"fs://{tmp_path / 'cache'}")
+        assert isinstance(store, FileResultStore)
+        assert store.base == tmp_path / "cache"
+
+    def test_url_roots_sqlite_store(self, tmp_path):
+        store = from_url(f"sqlite://{tmp_path / 'cache'}")
+        assert isinstance(store, SqliteResultStore)
+        assert store.path == tmp_path / "cache" / "store.sqlite"
+
+    def test_url_names_sqlite_db_file(self, tmp_path):
+        store = from_url(f"sqlite://{tmp_path / 'mine.sqlite'}")
+        assert store.path == tmp_path / "mine.sqlite"
+        assert store.base == tmp_path
+
+    def test_url_without_scheme_rejected(self):
+        with pytest.raises(StoreError):
+            from_url("/no/scheme/here")
+
+    def test_url_unknown_scheme_rejected(self):
+        with pytest.raises(StoreError):
+            from_url("redis://somewhere")
+
+    def test_make_store_accepts_urls(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(STORE_BACKEND_ENV_VAR, raising=False)
+        store = make_store(f"sqlite://{tmp_path / 'cache'}")
+        assert isinstance(store, SqliteResultStore)
+
+
+# ----------------------------------------------------------------------
+# Filesystem backend mechanics: durability and the prune/get race
+# ----------------------------------------------------------------------
+
+
+class TestFileStoreDurability:
+    def test_put_fsyncs_tmp_before_rename_and_dir_after(
+        self, tmp_path, monkeypatch
+    ):
+        """The write protocol is write → fsync(tmp) → rename → fsync(dir)."""
+        store = FileResultStore(tmp_path / "store")
+        events = []
+        real_fsync, real_replace = os.fsync, os.replace
+
+        def spy_fsync(fd):
+            events.append("fsync")
+            return real_fsync(fd)
+
+        def spy_replace(src, dst):
+            events.append("rename")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "fsync", spy_fsync)
+        monkeypatch.setattr(os, "replace", spy_replace)
+        job = _job()
+        store.put(job, execute_job(job))
+        assert "fsync" in events[: events.index("rename")], (
+            "temp file must be fsynced before the rename publishes it"
+        )
+        assert "fsync" in events[events.index("rename") + 1:], (
+            "directory entry must be fsynced after the rename"
+        )
+
+    def test_crash_mid_put_leaves_only_sweepable_debris(self, tmp_path):
+        store = FileResultStore(tmp_path / "store")
+        job = _job()
+        with pytest.raises(StoreError):
+            store.simulate_crash_mid_put(job, execute_job(job))
+        debris = list((tmp_path / "store").glob("v*/*/.*.tmp"))
+        assert len(debris) == 1  # the torn temp file a real crash strands
+        assert store.get(job) is None  # never visible as an entry
+        assert store.stats().entries == 0
+        # clear() sweeps crash debris immediately.
+        store.clear()
+        assert not list((tmp_path / "store").glob("v*/*/.*.tmp"))
+
+    def test_put_survives_concurrent_bucket_removal(self, tmp_path, monkeypatch):
+        """A prune rmdir'ing the fan-out bucket mid-put is retried."""
+        store = FileResultStore(tmp_path / "store")
+        job = _job()
+        real_replace = os.replace
+        raised = {"count": 0}
+
+        def racy_replace(src, dst):
+            if raised["count"] == 0:
+                raised["count"] += 1
+                raise FileNotFoundError(
+                    errno.ENOENT, "bucket swept by concurrent prune", dst
+                )
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", racy_replace)
+        path = store.put(job, execute_job(job))
+        assert raised["count"] == 1
+        assert path.is_file()
+        assert store.get(job) is not None
+
+    def test_put_raises_store_error_when_race_never_resolves(
+        self, tmp_path, monkeypatch
+    ):
+        store = FileResultStore(tmp_path / "store")
+
+        def always_gone(src, dst):
+            raise FileNotFoundError(errno.ENOENT, "gone", dst)
+
+        monkeypatch.setattr(os, "replace", always_gone)
+        with pytest.raises(StoreError):
+            store.put(_job(), execute_job(_job()))
+
+    def test_get_racing_prune_is_a_clean_miss(self, tmp_path, monkeypatch):
+        """An entry unlinked between the lookup and the read is a miss."""
+        from pathlib import Path
+
+        store = FileResultStore(tmp_path / "store")
+        job = _job()
+        path = store.put(job, execute_job(job))
+
+        real_read_text = Path.read_text
+
+        def pruned_read_text(self, *args, **kwargs):
+            if self == path:
+                # The concurrent prune wins the race: entry is gone.
+                self.unlink(missing_ok=True)
+            return real_read_text(self, *args, **kwargs)
+
+        monkeypatch.setattr(Path, "read_text", pruned_read_text)
+        assert store.get(job) is None  # miss, not an exception
+        assert store.stats().quarantined == 0  # nothing got quarantined
+
+    def test_get_racing_prune_enoent_oserror_is_a_clean_miss(
+        self, tmp_path, monkeypatch
+    ):
+        from pathlib import Path
+
+        store = FileResultStore(tmp_path / "store")
+        job = _job()
+        path = store.put(job, execute_job(job))
+
+        def enoent_read_text(self, *args, **kwargs):
+            if self == path:
+                raise OSError(errno.ENOENT, "pruned mid-open", str(self))
+            return Path.read_text(self, *args, **kwargs)
+
+        monkeypatch.setattr(Path, "read_text", enoent_read_text)
+        assert store.get(job) is None
+
+    def test_quarantine_keeps_reason_sidecar(self, tmp_path):
+        store = FileResultStore(tmp_path / "store")
+        job = _job()
+        store.put(job, execute_job(job))
+        store.corrupt_entry(job.key(), mode="semantic")
+        assert store.get(job) is None
+        sidecars = list(store.quarantine_dir.glob("*.reason"))
+        assert len(sidecars) == 1
+        assert "exceed" in sidecars[0].read_text(encoding="utf-8")
+
+
+# ----------------------------------------------------------------------
+# Sqlite backend mechanics: busy retries and fork safety
+# ----------------------------------------------------------------------
+
+
+class TestSqliteStore:
+    def test_injected_busy_is_retried_and_counted(self, tmp_path):
+        store = SqliteResultStore(tmp_path / "store")
+        job = _job()
+        store.put(job, execute_job(job))
+        store.inject_busy_once(times=2)
+        assert store.get(job) is not None  # retried through the busy spell
+        assert store.counters.busy_retries == 2
+
+    def test_busy_beyond_budget_degrades_to_store_error(self, tmp_path):
+        store = SqliteResultStore(tmp_path / "store", busy_retries=2)
+        store.inject_busy_once(times=10)
+        with pytest.raises(StoreError):
+            store.get(_job())
+        assert store.counters.busy_retries == 2
+
+    def test_non_busy_sqlite_error_is_store_error(self, tmp_path):
+        store = SqliteResultStore(tmp_path / "store")
+        job = _job()
+        store.put(job, execute_job(job))
+        store._connection().execute("DROP TABLE entries")
+        with pytest.raises(StoreError):
+            store.get(job)
+
+    def test_single_file_layout(self, tmp_path):
+        store = SqliteResultStore(tmp_path / "store")
+        job = _job()
+        assert store.put(job, execute_job(job)) == job.key()
+        files = {
+            p.name
+            for p in (tmp_path / "store").iterdir()
+            if not p.name.startswith("store.sqlite-")  # WAL side files
+        }
+        assert files == {"store.sqlite"}
+
+    def test_quarantine_rows_record_reason(self, tmp_path):
+        store = SqliteResultStore(tmp_path / "store")
+        job = _job()
+        store.put(job, execute_job(job))
+        store.corrupt_entry(job.key(), mode="truncate")
+        assert store.get(job) is None
+        rows = list(store.quarantined_entries())
+        assert rows and rows[0][0] == job.key()
+        assert "JSON" in rows[0][1]
+
+    def test_prune_age_uses_created_column(self, tmp_path):
+        store = SqliteResultStore(tmp_path / "store")
+        job = _job()
+        store.put(job, execute_job(job))
+        store._connection().execute(
+            "UPDATE entries SET created = ?", (time.time() - 10 * 86400,)
+        )
+        assert store.prune(max_age_days=5) == 1
+        assert store.stats().entries == 0
+
+    def test_payloads_match_fs_codec(self, tmp_path):
+        """Both backends persist the identical entry payload."""
+        fs_store = FileResultStore(tmp_path / "fs")
+        sq_store = SqliteResultStore(tmp_path / "sq")
+        job = _job()
+        result = execute_job(job)
+        path = fs_store.put(job, result)
+        sq_store.put(job, result)
+        fs_payload = json.loads(path.read_text(encoding="utf-8"))
+        row = sq_store._connection().execute(
+            "SELECT payload FROM entries WHERE key = ?", (job.key(),)
+        ).fetchone()
+        sq_payload = json.loads(row[0])
+        fs_payload.pop("created")
+        sq_payload.pop("created")
+        assert fs_payload == sq_payload
