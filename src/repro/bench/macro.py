@@ -20,12 +20,21 @@ from typing import List
 from repro.bench.micro import MIN_OPS, BenchCase
 
 
-def fig5_sim_case(quick: bool = False, ops_scale: float = 1.0) -> BenchCase:
-    """End-to-end fig5-scale batch wall-clock via the exec scheduler."""
+def _fig5_batch_case(
+    name: str, engine: str, quick: bool, ops_scale: float
+) -> BenchCase:
+    """fig5-scale scheduler batch under one engine backend.
+
+    ``engine`` is exported via ``REPRO_ENGINE`` for the duration of the
+    measured run (restored afterwards), so the scheduler's workers —
+    forked after the environment is set — pick the same backend.
+    """
+    import os
     import time
 
     from repro.exec.job import SimJob
     from repro.exec.scheduler import Scheduler
+    from repro.sim.vector import ENGINE_ENV
 
     accesses = 30_000 if not quick else 8_000
     accesses = max(MIN_OPS, int(accesses * ops_scale))
@@ -38,12 +47,36 @@ def fig5_sim_case(quick: bool = False, ops_scale: float = 1.0) -> BenchCase:
     total_ops = sum(len(job.members) * job.accesses for job in batch)
 
     def run_once() -> float:
-        scheduler = Scheduler(jobs=1, store=None)
-        start = time.perf_counter()
-        results = scheduler.run(batch)
-        elapsed = time.perf_counter() - start
+        previous = os.environ.get(ENGINE_ENV)
+        os.environ[ENGINE_ENV] = engine
+        try:
+            scheduler = Scheduler(jobs=1, store=None)
+            start = time.perf_counter()
+            results = scheduler.run(batch)
+            elapsed = time.perf_counter() - start
+        finally:
+            if previous is None:
+                os.environ.pop(ENGINE_ENV, None)
+            else:
+                os.environ[ENGINE_ENV] = previous
         if any(result is None for result in results):
-            raise RuntimeError("fig5_sim benchmark batch failed")
+            raise RuntimeError(f"{name} benchmark batch failed")
         return elapsed
 
-    return BenchCase("fig5_sim", total_ops, "accesses", run_once)
+    return BenchCase(name, total_ops, "accesses", run_once)
+
+
+def fig5_sim_case(quick: bool = False, ops_scale: float = 1.0) -> BenchCase:
+    """End-to-end fig5-scale batch wall-clock via the exec scheduler."""
+    return _fig5_batch_case("fig5_sim", "scalar", quick, ops_scale)
+
+
+def vector_fig5_sim_case(quick: bool = False, ops_scale: float = 1.0) -> BenchCase:
+    """The ``fig5_sim`` batch on the vector engine backend.
+
+    Identical jobs and scheduler setup to ``fig5_sim`` — only
+    ``REPRO_ENGINE`` differs — so the two cases' ``ops_per_sec`` ratio
+    is the end-to-end macro speedup of the vector backend (LRU jobs run
+    fully vectorized; NUcache jobs take the hybrid path).
+    """
+    return _fig5_batch_case("vector_fig5_sim", "vector", quick, ops_scale)

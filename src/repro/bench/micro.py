@@ -148,11 +148,74 @@ def nextuse_update_case(quick: bool = False, ops_scale: float = 1.0) -> BenchCas
     return BenchCase("nextuse_update", num_ops, "events", run_once)
 
 
+def _vector_kernel_case(
+    name: str,
+    num_sets: int,
+    ways: int,
+    footprint: int,
+    quick: bool,
+    ops_scale: float,
+) -> BenchCase:
+    """Build a batch-kernel case over one cache geometry.
+
+    Times :func:`repro.sim.vector.lru_batch` on a deterministic uniform
+    stream covering twice the cache's capacity (same recipe as
+    ``lru_access``), so hits, misses and evictions all stay on the
+    measured path.  Quick mode keeps the full op count: the kernel is
+    fast enough that shrinking it would only add timer noise.
+    """
+    import numpy as np
+
+    num_ops = _scaled(240_000, 240_000, quick, ops_scale)
+    rng = np.random.default_rng(20110211)
+    blocks = rng.integers(0, footprint, size=num_ops)
+    lanes = blocks & np.int64(num_sets - 1)
+    tags = blocks >> np.int64(num_sets.bit_length() - 1)
+
+    def run_once() -> float:
+        from repro.sim.vector import lru_batch
+
+        start = time.perf_counter()
+        lru_batch(lanes, tags, num_sets, ways)
+        return time.perf_counter() - start
+
+    return BenchCase(name, num_ops, "accesses", run_once)
+
+
+def vector_lru_access_case(quick: bool = False, ops_scale: float = 1.0) -> BenchCase:
+    """Batch LRU kernel on the 8-core paper LLC shape (2048 sets, 16 ways).
+
+    The vector engine's LLC-resolution workload: one whole-trace kernel
+    call instead of per-access python dispatch.  The ratio of this
+    case's throughput to ``lru_access`` is the headline scalar-vs-vector
+    speedup recorded in ``docs/kernels.md``.
+    """
+    return _vector_kernel_case(
+        "vector_lru_access", 2048, 16, 65536, quick, ops_scale
+    )
+
+
+def vector_lru_access_small_case(
+    quick: bool = False, ops_scale: float = 1.0
+) -> BenchCase:
+    """Batch LRU kernel on ``lru_access``'s own geometry (256 sets, 8 ways).
+
+    Same sets/ways/footprint/stream recipe as the scalar case, so the
+    two cases are a like-for-like comparison of per-access dispatch
+    against batched rounds on identical work.
+    """
+    return _vector_kernel_case(
+        "vector_lru_access_small", 256, 8, 4096, quick, ops_scale
+    )
+
+
 #: Registry of micro cases: name -> builder(quick, ops_scale).
 MICRO_CASES: Dict[str, Callable[..., BenchCase]] = {
     "lru_access": lru_access_case,
     "nucache_access": nucache_access_case,
     "nextuse_update": nextuse_update_case,
+    "vector_lru_access": vector_lru_access_case,
+    "vector_lru_access_small": vector_lru_access_small_case,
 }
 
 

@@ -24,7 +24,7 @@ import platform
 import statistics
 from typing import Any, Callable, Dict, Iterable, List, Optional
 
-from repro.bench.macro import fig5_sim_case
+from repro.bench.macro import fig5_sim_case, vector_fig5_sim_case
 from repro.bench.micro import MICRO_CASES, BenchCase
 
 #: Bump when the payload layout changes incompatibly.
@@ -40,6 +40,7 @@ QUICK_REPETITIONS = 3
 #: Registry of every case: name -> builder(quick=..., ops_scale=...).
 ALL_CASES: Dict[str, Callable[..., BenchCase]] = dict(MICRO_CASES)
 ALL_CASES["fig5_sim"] = fig5_sim_case
+ALL_CASES["vector_fig5_sim"] = vector_fig5_sim_case
 
 
 def benchmark_names() -> List[str]:

@@ -8,6 +8,7 @@ Subcommands::
     nucache-repro run fig5 --no-cache  # bypass the result store
     nucache-repro run fig5 --trace     # structured trace + metrics.json
     nucache-repro run fig5 --profile   # cProfile workers, hot-function table
+    nucache-repro run fig5 --engine vector   # numpy batch engine, same bytes
     nucache-repro run --resume <id>    # finish an interrupted run
     nucache-repro runs list            # past runs (from their journals)
     nucache-repro runs show <id>       # one run's journal, readable
@@ -67,6 +68,7 @@ from repro.experiments import experiment_ids, run_experiment
 from repro.metrics.multicore import weighted_speedup
 from repro.sim.policies import policy_names
 from repro.sim.runner import DEFAULT_ACCESSES, alone_ipc, run_mix, run_single
+from repro.sim.vector import ENGINE_ENV, ENGINE_MODES
 from repro.workloads.mixes import all_mixes, mix_members
 from repro.workloads.spec_like import catalog
 
@@ -180,10 +182,23 @@ class _ObsSession:
         print(f"[obs] metrics written to {path}", file=sys.stderr)
 
 
+def _apply_engine_choice(args: argparse.Namespace) -> None:
+    """Export ``--engine`` to the environment before any engine is built.
+
+    Worker processes are forked after this point, so the choice reaches
+    scheduler jobs too.  Results are engine-independent by construction;
+    the flag only selects the implementation.
+    """
+    engine = getattr(args, "engine", None)
+    if engine is not None:
+        os.environ[ENGINE_ENV] = engine
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     import hashlib
     import time as time_mod
 
+    _apply_engine_choice(args)
     exec_context.configure(
         jobs=args.jobs,
         use_cache=False if args.no_cache else None,
@@ -558,6 +573,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_sim(args: argparse.Namespace) -> int:
+    _apply_engine_choice(args)
     if args.mix:
         members = mix_members(args.mix)
         result = run_mix(args.mix, args.policy, args.accesses, args.seed)
@@ -739,6 +755,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="profile every executed job with cProfile and print a merged "
         "hot-function table per experiment (stderr)",
     )
+    run_parser.add_argument(
+        "--engine", choices=ENGINE_MODES, default=None,
+        help="simulation engine backend (default: REPRO_ENGINE or scalar); "
+        "results are byte-identical either way",
+    )
     run_parser.set_defaults(func=_cmd_run)
 
     runs_parser = subparsers.add_parser(
@@ -840,6 +861,11 @@ def build_parser() -> argparse.ArgumentParser:
     sim_parser.add_argument(
         "--seed", type=int, default=DEFAULT_SEED,
         help="root RNG seed for trace generation (default: %(default)s)",
+    )
+    sim_parser.add_argument(
+        "--engine", choices=ENGINE_MODES, default=None,
+        help="simulation engine backend (default: REPRO_ENGINE or scalar); "
+        "results are byte-identical either way",
     )
     sim_parser.set_defaults(func=_cmd_sim)
 

@@ -22,9 +22,10 @@ from typing import Dict, Optional, Sequence, Tuple
 from repro.common.config import SystemConfig, paper_system_config
 from repro.common.rng import DEFAULT_SEED
 from repro.prefetch.prefetchers import make_prefetcher
-from repro.sim.engine import MulticoreEngine, SimResult
+from repro.sim.engine import SimResult
 from repro.sim.memory import BandwidthLimitedMemory, FixedLatencyMemory
 from repro.sim.policies import make_llc
+from repro.sim.vector import make_engine
 from repro.workloads.mixes import mix_members
 from repro.workloads.spec_like import benchmark
 from repro.workloads.synthetic import generate_trace
@@ -88,7 +89,7 @@ def run_workload(
     prefetchers = None
     if prefetcher != "none":
         prefetchers = [make_prefetcher(prefetcher) for _ in members]
-    engine = MulticoreEngine(
+    engine = make_engine(
         traces, llc, config, _make_memory(config, memory_model),
         warmup_fraction=warmup_fraction, prefetchers=prefetchers,
     )
@@ -137,7 +138,7 @@ def run_single(
     trace = generate_trace(benchmark(benchmark_name), accesses, seed)
     llc = make_llc(policy, config, seed)
     prefetchers = None if prefetcher == "none" else [make_prefetcher(prefetcher)]
-    engine = MulticoreEngine(
+    engine = make_engine(
         (trace,), llc, config, FixedLatencyMemory(config.latency.memory),
         warmup_fraction=warmup_fraction, prefetchers=prefetchers,
     )

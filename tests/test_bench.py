@@ -82,7 +82,9 @@ class TestSuiteDeterminism:
 
     def test_registry_contents(self):
         assert benchmark_names() == [
-            "lru_access", "nucache_access", "nextuse_update", "fig5_sim",
+            "lru_access", "nucache_access", "nextuse_update",
+            "vector_lru_access", "vector_lru_access_small",
+            "fig5_sim", "vector_fig5_sim",
         ]
 
 

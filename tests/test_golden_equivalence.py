@@ -16,6 +16,11 @@ against artifacts captured from the unoptimized kernel:
   refactor must not bump :data:`~repro.exec.job.ENGINE_VERSION` or
   otherwise move results in the content-addressed store.
 
+The same payload assertions run twice: once on the scalar engine and
+once with ``REPRO_ENGINE=vector``, pinning the vector backend to the
+identical golden bytes (see ``tests/test_vector_engine.py`` for the
+kernel- and engine-level fuzzing behind that guarantee).
+
 If a change legitimately alters simulated numbers, recapture the golden
 files (see ``docs/benchmarking.md``) *and* bump ``ENGINE_VERSION`` —
 these tests failing together with a forgotten version bump is exactly
@@ -47,6 +52,44 @@ def _golden_payloads() -> dict:
 
 class TestSimResultGolden:
     """Every simulated payload matches the pre-optimization engine."""
+
+    @pytest.mark.parametrize("policy", _SINGLE_POLICIES)
+    def test_single_runs_byte_identical(self, policy):
+        golden = _golden_payloads()[f"single:art_like:{policy}"]
+        result = run_single("art_like", policy, 12_000, 20110212)
+        assert result.to_dict() == golden
+
+    @pytest.mark.parametrize("policy", _MIX_POLICIES)
+    def test_mix_runs_byte_identical(self, policy):
+        golden = _golden_payloads()[f"mix:mix2_1:{policy}"]
+        result = run_mix("mix2_1", policy, 12_000, 20110212)
+        assert result.to_dict() == golden
+
+    def test_prefetch_bandwidth_run_byte_identical(self):
+        golden = _golden_payloads()["workload:stride-bandwidth:nucache"]
+        result = run_workload(
+            ["art_like", "mcf_like"], "nucache", None, 12_000, 7, 0.25,
+            "stride", "bandwidth",
+        )
+        assert result.to_dict() == golden
+
+
+class TestSimResultGoldenVectorBackend:
+    """The vector backend reproduces the same golden payloads.
+
+    Same runs as :class:`TestSimResultGolden`, but with
+    ``REPRO_ENGINE=vector`` so :func:`repro.sim.vector.make_engine`
+    selects :class:`~repro.sim.vector.VectorEngine`.  Plain-LRU runs
+    exercise the fully vectorized path; NUcache/RRIP/partitioned runs
+    exercise the hybrid path; either way the payload must stay
+    byte-identical to the scalar capture.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _vector_backend(self, monkeypatch):
+        from repro.sim.vector import ENGINE_ENV
+
+        monkeypatch.setenv(ENGINE_ENV, "vector")
 
     @pytest.mark.parametrize("policy", _SINGLE_POLICIES)
     def test_single_runs_byte_identical(self, policy):

@@ -1,0 +1,336 @@
+"""Equivalence and selection tests for the vector engine backend.
+
+Three layers of evidence that ``repro.sim.vector`` cannot drift from
+the scalar engine:
+
+* **Kernel-level**: :func:`~repro.sim.vector.lru_batch` fuzzed against
+  the real :class:`~repro.cache.cache.SetAssociativeCache` *and* the
+  ``repro.check`` differential oracle's dict-based reference model,
+  across edge geometries (1 set, 1/2/3 ways, non-power-of-two lane
+  counts) and both packed-cell dtypes (int32 and tag-forced int64).
+* **Engine-level**: full ``SimResult.to_dict()`` equality between
+  :class:`~repro.sim.engine.MulticoreEngine` and
+  :class:`~repro.sim.vector.VectorEngine` over fuzzed geometries,
+  policies, core counts and memory models — covering the fully
+  vectorized path, the multicore fixed-point solve, and the hybrid
+  path that drives the real LLC object.
+* **Plumbing**: engine selection (env/CLI), fallback triggers, and the
+  store-key regression — ``REPRO_ENGINE`` must never change a
+  :class:`~repro.exec.job.SimJob` key, because both backends produce
+  byte-identical payloads and may share store entries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.replacement.basic import lru_factory
+from repro.check.oracle import make_reference
+from repro.common.config import CacheGeometry, paper_system_config
+from repro.common.errors import SimulationError
+from repro.exec.job import SimJob
+from repro.prefetch.prefetchers import make_prefetcher
+from repro.sim.engine import MulticoreEngine
+from repro.sim.memory import BandwidthLimitedMemory, FixedLatencyMemory
+from repro.sim.policies import make_llc
+from repro.sim.runner import make_traces
+from repro.sim.vector import (
+    ENGINE_ENV,
+    VectorEngine,
+    clear_buffer_pool,
+    lru_batch,
+    make_engine,
+    resolve_engine_mode,
+)
+
+#: Edge-heavy (sets, ways) grid for kernel fuzzing.
+KERNEL_GEOMETRIES = [
+    (1, 2), (4, 1), (16, 2), (8, 3), (32, 5), (64, 8), (128, 16), (16, 4),
+]
+
+
+def _kernel_inputs(num_sets, ways, length, seed, big_tags=False):
+    """Deterministic lanes/tags/cores arrays plus matching block addrs."""
+    rng = np.random.default_rng(seed)
+    footprint = max(8, num_sets * ways * 2)
+    blocks = rng.integers(0, footprint, size=length)
+    if big_tags:
+        blocks = blocks + (np.int64(1) << np.int64(40))
+    index_bits = num_sets.bit_length() - 1
+    lanes = blocks & np.int64(num_sets - 1)
+    tags = blocks >> np.int64(index_bits)
+    cores = rng.integers(0, 4, size=length)
+    return blocks, lanes, tags, cores
+
+
+def _reference_cache_replay(num_sets, ways, blocks, cores):
+    """Replay through the real cache; return hits, valid mask, owners."""
+    geometry = CacheGeometry(
+        size_bytes=num_sets * ways * 64, block_bytes=64, ways=ways
+    )
+    cache = SetAssociativeCache(geometry, lru_factory(), "ref")
+    hits = np.zeros(len(blocks), dtype=bool)
+    for i, (block, core) in enumerate(zip(blocks.tolist(), cores.tolist())):
+        hits[i] = cache.access(block, core, 0, False)
+    valid = np.zeros((num_sets, ways), dtype=bool)
+    owners = np.zeros((num_sets, ways), dtype=np.int64)
+    for set_index, cache_set in enumerate(cache.sets):
+        for way in range(ways):
+            valid[set_index, way] = cache_set._valid[way]
+            if cache_set._valid[way]:
+                owners[set_index, way] = cache_set._cores[way]
+    return hits, valid, owners
+
+
+class TestKernelAgainstRealCache:
+    """lru_batch == SetAssociativeCache on hits, state, and owners."""
+
+    @pytest.mark.parametrize("num_sets,ways", KERNEL_GEOMETRIES)
+    def test_fuzzed_geometries(self, num_sets, ways):
+        blocks, lanes, tags, cores = _kernel_inputs(
+            num_sets, ways, 4_000, seed=num_sets * 31 + ways
+        )
+        hits, valid, owners = lru_batch(
+            lanes, tags, num_sets, ways, cores=cores
+        )
+        ref_hits, ref_valid, ref_owners = _reference_cache_replay(
+            num_sets, ways, blocks, cores
+        )
+        assert np.array_equal(hits, ref_hits)
+        assert np.array_equal(valid, ref_valid)
+        assert np.array_equal(owners[valid], ref_owners[ref_valid])
+
+    def test_int64_cells_forced_by_big_tags(self):
+        blocks, lanes, tags, cores = _kernel_inputs(
+            32, 5, 3_000, seed=99, big_tags=True
+        )
+        assert int(tags.max()) > 2**31  # guarantees the int64 cell path
+        hits, valid, owners = lru_batch(lanes, tags, 32, 5, cores=cores)
+        ref_hits, ref_valid, ref_owners = _reference_cache_replay(
+            32, 5, blocks, cores
+        )
+        assert np.array_equal(hits, ref_hits)
+        assert np.array_equal(valid, ref_valid)
+        assert np.array_equal(owners[valid], ref_owners[ref_valid])
+
+    @pytest.mark.parametrize("ways", [1, 2])
+    def test_low_ways_closed_form_matches_round_kernel(self, ways):
+        _, lanes, tags, cores = _kernel_inputs(16, ways, 5_000, seed=7)
+        fast_hits, _, _ = lru_batch(lanes, tags, 16, ways)  # closed form
+        slow_hits, _, _ = lru_batch(lanes, tags, 16, ways, cores=cores)
+        assert np.array_equal(fast_hits, slow_hits)
+
+    def test_empty_stream(self):
+        empty = np.zeros(0, dtype=np.int64)
+        hits, valid, owners = lru_batch(empty, empty, 8, 4, cores=empty)
+        assert hits.shape == (0,)
+        assert not valid.any()
+        assert owners.shape == (8, 4)
+
+    def test_buffer_pool_reuse_does_not_corrupt_results(self):
+        _, lanes, tags, cores = _kernel_inputs(64, 8, 4_000, seed=3)
+        first = lru_batch(lanes, tags, 64, 8, cores=cores)
+        again = lru_batch(lanes, tags, 64, 8, cores=cores)
+        assert np.array_equal(first[0], again[0])
+        assert np.array_equal(first[1], again[1])
+        assert np.array_equal(first[2], again[2])
+        clear_buffer_pool()
+        fresh = lru_batch(lanes, tags, 64, 8, cores=cores)
+        assert np.array_equal(first[0], fresh[0])
+
+
+class TestKernelAgainstDifferentialOracle:
+    """lru_batch in lockstep with the repro.check reference model."""
+
+    @pytest.mark.parametrize("num_sets,ways", [(16, 4), (8, 8), (32, 8)])
+    def test_oracle_lockstep(self, num_sets, ways):
+        config = dataclasses.replace(
+            paper_system_config(2, deli_ways=2),
+            llc=CacheGeometry(
+                size_bytes=num_sets * ways * 64, block_bytes=64, ways=ways
+            ),
+        )
+        reference = make_reference("lru", config)
+        _, lanes, tags, cores = _kernel_inputs(
+            num_sets, ways, 4_000, seed=num_sets + ways
+        )
+        hits, valid, _ = lru_batch(lanes, tags, num_sets, ways, cores=cores)
+        for i, (lane, tag, core) in enumerate(
+            zip(lanes.tolist(), tags.tolist(), cores.tolist())
+        ):
+            assert reference.access(lane, tag, core, 0, False) == bool(hits[i])
+        for set_index in range(num_sets):
+            resident = set(reference.tag_to_way[set_index].values())
+            assert int(valid[set_index].sum()) == len(resident)
+
+
+#: Engine-level fuzz grid: (members, policy, memory_model, warmup).
+ENGINE_CASES = [
+    (["mcf_like"], "lru", "fixed", 0.25),
+    (["mcf_like", "milc_like"], "lru", "fixed", 0.25),
+    (["mcf_like", "milc_like", "gcc_like", "hmmer_like"], "lru", "fixed", 0.25),
+    (["mcf_like", "milc_like"], "lru", "bandwidth", 0.25),
+    (["mcf_like", "milc_like"], "nucache", "fixed", 0.25),
+    (["art_like"], "nucache", "fixed", 0.0),
+    (["mcf_like", "milc_like", "gcc_like", "hmmer_like"], "ucp", "fixed", 0.25),
+    (["art_like", "twolf_like"], "srrip", "fixed", 0.25),
+    (["mcf_like", "milc_like"], "lru", "fixed", 0.0),
+]
+
+
+def _make_memory_model(config, model):
+    if model == "bandwidth":
+        return BandwidthLimitedMemory(config.latency.memory, 48)
+    return FixedLatencyMemory(config.latency.memory)
+
+
+def _run_both(members, policy, memory_model, warmup, accesses=3_000, seed=11):
+    config = paper_system_config(len(members))
+    traces = make_traces(members, accesses, seed)
+    scalar = MulticoreEngine(
+        traces, make_llc(policy, config, seed), config,
+        _make_memory_model(config, memory_model), warmup_fraction=warmup,
+    )
+    vector = VectorEngine(
+        traces, make_llc(policy, config, seed), config,
+        _make_memory_model(config, memory_model), warmup_fraction=warmup,
+    )
+    return scalar.run(), vector.run(), vector
+
+
+class TestEngineEquivalence:
+    """VectorEngine payloads are byte-identical to the scalar engine."""
+
+    @pytest.mark.parametrize(
+        "members,policy,memory_model,warmup", ENGINE_CASES,
+        ids=[f"{c[1]}-x{len(c[0])}-{c[2]}-w{c[3]}" for c in ENGINE_CASES],
+    )
+    def test_fuzzed_configs_byte_identical(
+        self, members, policy, memory_model, warmup
+    ):
+        scalar_result, vector_result, _ = _run_both(
+            members, policy, memory_model, warmup
+        )
+        assert json.dumps(scalar_result.to_dict(), sort_keys=True) == (
+            json.dumps(vector_result.to_dict(), sort_keys=True)
+        )
+
+    def test_full_vector_path_taken_for_plain_lru(self):
+        _, _, vector = _run_both(["mcf_like", "milc_like"], "lru", "fixed", 0.25)
+        assert vector.fallback_reason is None
+
+    def test_hybrid_path_taken_for_nucache(self):
+        _, _, vector = _run_both(["mcf_like"], "nucache", "fixed", 0.25)
+        assert vector.fallback_reason == "hybrid:llc_policy:nucache"
+
+    def test_hybrid_path_taken_for_bandwidth_memory(self):
+        _, _, vector = _run_both(["mcf_like", "milc_like"], "lru", "bandwidth", 0.25)
+        assert vector.fallback_reason == "hybrid:memory_model"
+
+    def test_oracle_checked_scalar_matches_vector(self, monkeypatch):
+        """Lockstep transitively: oracle validates scalar, vector equals it."""
+        members, policy = ["mcf_like", "milc_like"], "nucache"
+        config = paper_system_config(2)
+        traces = make_traces(members, 2_000, 5)
+        monkeypatch.setenv("REPRO_CHECK", "access")
+        checked = MulticoreEngine(
+            traces, make_llc(policy, config, 5), config,
+            FixedLatencyMemory(config.latency.memory), warmup_fraction=0.25,
+        ).run()
+        monkeypatch.delenv("REPRO_CHECK")
+        vector = VectorEngine(
+            traces, make_llc(policy, config, 5), config,
+            FixedLatencyMemory(config.latency.memory), warmup_fraction=0.25,
+        ).run()
+        assert checked.to_dict() == vector.to_dict()
+
+
+class TestFallbackTriggers:
+    """Unvectorized features delegate to the scalar loop, identically."""
+
+    def _engines(self, prefetcher=None, members=("mcf_like",)):
+        config = paper_system_config(len(members))
+        traces = make_traces(list(members), 2_000, 3)
+        def build(cls):
+            prefetchers = None
+            if prefetcher is not None:  # fresh instances: prefetchers are stateful
+                prefetchers = [make_prefetcher(prefetcher) for _ in members]
+            return cls(
+                traces, make_llc("lru", config, 3), config,
+                FixedLatencyMemory(config.latency.memory),
+                warmup_fraction=0.25, prefetchers=prefetchers,
+            )
+
+        return build(MulticoreEngine), build(VectorEngine)
+
+    def test_prefetchers_fall_back_to_scalar(self):
+        scalar, vector = self._engines(prefetcher="stride")
+        assert scalar.run().to_dict() == vector.run().to_dict()
+        assert vector.fallback_reason == "scalar:prefetchers"
+
+    def test_max_steps_falls_back_to_scalar(self):
+        scalar, vector = self._engines()
+        assert scalar.run(max_steps=500).to_dict() == (
+            vector.run(max_steps=500).to_dict()
+        )
+        assert vector.fallback_reason == "scalar:max_steps"
+
+    def test_access_checker_falls_back_to_scalar(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECK", "access")
+        scalar, vector = self._engines()
+        assert scalar.run().to_dict() == vector.run().to_dict()
+        assert vector.fallback_reason == "scalar:checker"
+
+
+class TestEngineSelection:
+    """resolve_engine_mode / make_engine honor flag, env, and default."""
+
+    def test_default_is_scalar(self, monkeypatch):
+        monkeypatch.delenv(ENGINE_ENV, raising=False)
+        assert resolve_engine_mode() == "scalar"
+
+    def test_env_selects_vector(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV, "vector")
+        assert resolve_engine_mode() == "vector"
+
+    def test_explicit_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV, "vector")
+        assert resolve_engine_mode("scalar") == "scalar"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(SimulationError):
+            resolve_engine_mode("simd")
+
+    @pytest.mark.parametrize(
+        "mode,expected", [("scalar", MulticoreEngine), ("vector", VectorEngine)]
+    )
+    def test_make_engine_classes(self, mode, expected, monkeypatch):
+        monkeypatch.delenv(ENGINE_ENV, raising=False)
+        config = paper_system_config(1)
+        traces = make_traces(["mcf_like"], 1_200, 1)
+        engine = make_engine(
+            traces, make_llc("lru", config, 1), config,
+            FixedLatencyMemory(config.latency.memory), mode=mode,
+        )
+        assert type(engine) is expected
+
+
+class TestStoreKeyRegression:
+    """Engine choice must not move results in the content-addressed store.
+
+    Both backends produce byte-identical payloads (tests above), so
+    sharing entries is sound — and therefore the key must not encode
+    the backend, and ``ENGINE_VERSION`` stays untouched.
+    """
+
+    def test_key_independent_of_engine_env(self, monkeypatch):
+        job = SimJob.mix("mix2_1", "nucache", 50_000)
+        monkeypatch.delenv(ENGINE_ENV, raising=False)
+        scalar_key = job.key()
+        monkeypatch.setenv(ENGINE_ENV, "vector")
+        assert SimJob.mix("mix2_1", "nucache", 50_000).key() == scalar_key

@@ -34,6 +34,7 @@ DEFAULT_PATHS = (
     "src/repro/exec",
     "src/repro/explore",
     "src/repro/obs",
+    "src/repro/sim/vector.py",
 )
 
 
