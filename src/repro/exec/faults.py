@@ -66,8 +66,17 @@ STORE_FAULT_KINDS = (
     "sqlite.busy",
 )
 
+#: Injectable network-store fault kinds (client-side, armed through
+#: :meth:`repro.exec.stores.net.NetResultStore.inject_net_fault`).
+NET_FAULT_KINDS = (
+    "net.conn.refused",
+    "net.read.timeout",
+    "net.reply.corrupt",
+    "net.server.crash",
+)
+
 #: Every injectable fault kind.
-FAULT_KINDS = EXECUTOR_FAULT_KINDS + STORE_FAULT_KINDS
+FAULT_KINDS = EXECUTOR_FAULT_KINDS + STORE_FAULT_KINDS + NET_FAULT_KINDS
 
 
 def _fault_field(kind: str) -> str:
@@ -96,6 +105,10 @@ class FaultPlan:
     store_get_corrupt: float = 0.0
     store_lease_orphan: float = 0.0
     sqlite_busy: float = 0.0
+    net_conn_refused: float = 0.0
+    net_read_timeout: float = 0.0
+    net_reply_corrupt: float = 0.0
+    net_server_crash: float = 0.0
     seed: int = 0
     hang_seconds: float = 30.0
     scratch: str = ""
@@ -242,6 +255,13 @@ class FaultyStore:
     * ``sqlite.busy`` — arm the sqlite backend's injected
       ``database is locked`` error before the next operation (no-op on
       backends without :meth:`inject_busy_once`).
+    * ``net.conn.refused`` / ``net.read.timeout`` / ``net.reply.corrupt``
+      — arm one transport failure on the net backend's next request;
+      the client reconnects/retries and the operation still succeeds.
+    * ``net.server.crash`` — latch the net backend's server-dead flag
+      (the client view of a SIGKILLed server); every later store call
+      raises ``StoreError`` and the scheduler degrades.  All ``net.*``
+      kinds are no-ops on backends without :meth:`inject_net_fault`.
     """
 
     def __init__(self, store, plan: FaultPlan) -> None:
@@ -264,10 +284,20 @@ class FaultyStore:
         if inject is not None and self._plan.fire("sqlite.busy", key):
             inject()
 
+    def _arm_net(self, key: str) -> None:
+        """Fire planned ``net.*`` faults if the backend supports them."""
+        inject = getattr(self._store, "inject_net_fault", None)
+        if inject is None:
+            return
+        for kind in NET_FAULT_KINDS:
+            if self._plan.fire(kind, key):
+                inject(kind)
+
     def get(self, job: SimJob):
         """Read via the wrapped store, damaging planned entries first."""
         key = job.key()
         self._arm_busy(key)
+        self._arm_net(key)
         if (
             self._plan.selected("store.get.corrupt", key)
             and not self._plan.fired("store.get.corrupt", key)
@@ -285,6 +315,7 @@ class FaultyStore:
         """Persist via the wrapped store, injecting planned write faults."""
         key = job.key()
         self._arm_busy(key)
+        self._arm_net(key)
         if self._plan.fire("store.put.crash", key):
             # Raises StoreError after leaving crash debris behind.
             return self._store.simulate_crash_mid_put(job, result)

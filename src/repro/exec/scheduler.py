@@ -85,6 +85,10 @@ class BatchReport:
     stale_takeovers: int = 0
     #: SQLITE_BUSY retries absorbed by the store during this batch.
     busy_retries: int = 0
+    #: Net-store connections re-established after a drop during this batch.
+    reconnects: int = 0
+    #: Net-store requests resent (idempotently) after a transport failure.
+    retried_requests: int = 0
 
     @property
     def cache_fraction(self) -> float:
@@ -108,6 +112,10 @@ class BatchReport:
             line += f", {self.stale_takeovers} lease takeovers"
         if self.busy_retries:
             line += f", {self.busy_retries} busy retries"
+        if self.reconnects:
+            line += f", {self.reconnects} reconnects"
+        if self.retried_requests:
+            line += f", {self.retried_requests} resent requests"
         if self.degraded:
             line += f", {self.degraded} store fallbacks (degraded)"
         return f"{line} in {self.wall_time:.2f}s"
@@ -123,6 +131,8 @@ class BatchReport:
             "lease_contentions": self.lease_contentions,
             "stale_takeovers": self.stale_takeovers,
             "busy_retries": self.busy_retries,
+            "reconnects": self.reconnects,
+            "retried_requests": self.retried_requests,
         }
         return {name: value for name, value in fields.items() if value}
 
@@ -139,6 +149,8 @@ class BatchReport:
         self.lease_contentions += other.lease_contentions
         self.stale_takeovers += other.stale_takeovers
         self.busy_retries += other.busy_retries
+        self.reconnects += other.reconnects
+        self.retried_requests += other.retried_requests
 
 
 def _report_fields(report: "BatchReport") -> Dict[str, object]:
@@ -155,6 +167,8 @@ def _report_fields(report: "BatchReport") -> Dict[str, object]:
         "lease_contentions": report.lease_contentions,
         "stale_takeovers": report.stale_takeovers,
         "busy_retries": report.busy_retries,
+        "reconnects": report.reconnects,
+        "retried_requests": report.retried_requests,
     }
 
 
@@ -581,6 +595,10 @@ class Scheduler:
         installed = self._install_signal_handlers()
         store_counters = getattr(self.store, "counters", None)
         busy_before = store_counters.busy_retries if store_counters else 0
+        reconnects_before = store_counters.reconnects if store_counters else 0
+        resent_before = (
+            store_counters.retried_requests if store_counters else 0
+        )
         self._held_leases = {}
         self._next_renew = 0.0
         try:
@@ -689,6 +707,10 @@ class Scheduler:
             self._restore_signal_handlers(installed)
         if store_counters is not None:
             report.busy_retries = store_counters.busy_retries - busy_before
+            report.reconnects = store_counters.reconnects - reconnects_before
+            report.retried_requests = (
+                store_counters.retried_requests - resent_before
+            )
 
         if self._interrupted:
             # Anything not yet settled or failed is left for the resume.

@@ -10,6 +10,10 @@ many backends:
 * ``sqlite`` — :class:`~repro.exec.stores.sqlite.SqliteResultStore`:
   one WAL-mode database file, busy-retry with seeded backoff,
   transactional leases.
+* ``net`` — :class:`~repro.exec.stores.net.NetResultStore`: a TCP
+  client for a ``nucache-repro store serve`` server (itself backed by
+  any of the above), with per-request deadlines, seeded reconnect
+  backoff, idempotent retries, and server-authoritative leases.
 
 Select a backend with ``$REPRO_STORE`` (a backend name or a
 :func:`from_url` spec), the ``--store`` CLI flag, or programmatically
@@ -41,36 +45,60 @@ from repro.exec.stores.fs import (
     QUARANTINE_DIR_NAME,
     TMP_LEAK_AGE_SECONDS,
 )
+from repro.exec.stores.net import NetResultStore, StoreServer
 from repro.exec.stores.sqlite import SqliteResultStore
 
 #: Registered backends, keyed by the name ``REPRO_STORE``/``--store`` use.
 BACKENDS: Dict[str, Type[AbstractResultStore]] = {
     "fs": FileResultStore,
+    "net": NetResultStore,
     "sqlite": SqliteResultStore,
 }
 
+#: The one sentence every bad-spec error ends with, so a typo in any of
+#: the selection paths (URL, env var, CLI flag) teaches the right shape.
+ACCEPTED_STORE_FORMS = (
+    "accepted forms: a backend name (fs, net, sqlite), fs://PATH, "
+    "sqlite://PATH[/store.sqlite], or net://HOST:PORT"
+)
+
 
 def from_url(url: str) -> AbstractResultStore:
-    """Build a store from a ``backend://path`` spec.
+    """Build a store from a ``backend://target`` spec.
 
     * ``fs:///var/cache/nucache`` — filesystem store rooted there.
     * ``sqlite:///var/cache/nucache`` — sqlite store whose database
       lives at ``<path>/store.sqlite``; a path ending in ``.sqlite`` or
       ``.db`` names the database file itself.
+    * ``net://host:port`` — client for a ``nucache-repro store serve``
+      server at that address.
     * ``fs://`` / ``sqlite://`` — the default store directory
       (``$REPRO_CACHE_DIR`` or ``~/.cache/nucache-repro``).
+
+    Every malformed spec raises :class:`StoreError` naming the accepted
+    forms; an unreachable ``net://`` target constructs fine here and
+    raises :class:`StoreError` on first use (the scheduler degrades).
     """
     scheme, separator, raw_path = url.partition("://")
     if not separator:
         raise StoreError(
-            f"store URL {url!r} has no scheme; expected "
-            f"one of {sorted(BACKENDS)} + '://path'"
+            f"store URL {url!r} has no scheme; {ACCEPTED_STORE_FORMS}"
         )
     if scheme not in BACKENDS:
         raise StoreError(
-            f"unknown store backend {scheme!r}; expected one of "
-            f"{sorted(BACKENDS)}"
+            f"unknown store backend {scheme!r} in {url!r}; "
+            f"{ACCEPTED_STORE_FORMS}"
         )
+    if scheme == "net":
+        if not raw_path:
+            raise StoreError(
+                f"net store URL {url!r} is missing an address; "
+                f"{ACCEPTED_STORE_FORMS}"
+            )
+        try:
+            return NetResultStore(raw_path)
+        except StoreError as exc:
+            raise StoreError(f"{exc}; {ACCEPTED_STORE_FORMS}") from None
     root = Path(raw_path) if raw_path else None
     if scheme == "sqlite" and root is not None and root.suffix in (".sqlite", ".db"):
         return SqliteResultStore(root=root.parent, db_path=root)
@@ -80,33 +108,41 @@ def from_url(url: str) -> AbstractResultStore:
 def make_store(spec: Optional[str] = None) -> AbstractResultStore:
     """Build the configured result store.
 
-    ``spec`` is a backend name (``fs``/``sqlite``) or a :func:`from_url`
-    spec; when ``None``, ``$REPRO_STORE`` decides, defaulting to ``fs``.
-    The store root always honours ``$REPRO_CACHE_DIR``.
+    ``spec`` is a backend name (``fs``/``sqlite``/``net``) or a
+    :func:`from_url` spec; when ``None``, ``$REPRO_STORE`` decides,
+    defaulting to ``fs``.  The store root always honours
+    ``$REPRO_CACHE_DIR``.
     """
     chosen = spec or os.environ.get(STORE_BACKEND_ENV_VAR) or "fs"
     if "://" in chosen:
         return from_url(chosen)
+    if chosen == "net":
+        raise StoreError(
+            "the net backend needs a server address; "
+            f"{ACCEPTED_STORE_FORMS}"
+        )
     if chosen not in BACKENDS:
         raise StoreError(
-            f"unknown store backend {chosen!r}; expected one of "
-            f"{sorted(BACKENDS)} or a URL like 'sqlite:///path'"
+            f"unknown store backend {chosen!r}; {ACCEPTED_STORE_FORMS}"
         )
     return BACKENDS[chosen]()
 
 
 __all__ = [
+    "ACCEPTED_STORE_FORMS",
     "AbstractResultStore",
     "BACKENDS",
     "DEFAULT_LEASE_TTL",
     "FileResultStore",
     "Lease",
+    "NetResultStore",
     "QUARANTINE_DIR_NAME",
     "STORE_BACKEND_ENV_VAR",
     "STORE_ENV_VAR",
     "SqliteResultStore",
     "StoreCounters",
     "StoreError",
+    "StoreServer",
     "StoreStats",
     "TMP_LEAK_AGE_SECONDS",
     "decode_entry",

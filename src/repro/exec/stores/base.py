@@ -29,10 +29,12 @@ import abc
 import json
 import os
 import socket
+import struct
 import time
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.common.errors import ReproError, StoreError
 from repro.exec.job import ENGINE_VERSION, SimJob
@@ -72,10 +74,23 @@ def lease_owner_id() -> str:
 # Shared payload codec (identical validation semantics per backend)
 # ----------------------------------------------------------------------
 
+#: Magic prefix of a codec-v2 (zlib-packed) entry payload.
+ENTRY_MAGIC = b"NUC2"
 
-def encode_entry(job: SimJob, result: SimResult) -> str:
-    """Serialize one store entry (job + result + provenance) to JSON."""
-    return json.dumps(
+#: Byte length of the v2 header: magic + big-endian uncompressed size.
+ENTRY_HEADER_LEN = len(ENTRY_MAGIC) + 4
+
+
+def encode_entry(job: SimJob, result: SimResult) -> bytes:
+    """Serialize one store entry (job + result + provenance).
+
+    Codec v2: the sorted-keys JSON document is zlib-compressed behind a
+    fixed header (``NUC2`` magic + 4-byte big-endian *uncompressed*
+    length).  Entries are highly regular JSON, so the pack is roughly
+    5× smaller on disk; the recorded length lets :func:`entry_logical_size`
+    report the logical footprint without inflating anything.
+    """
+    raw = json.dumps(
         {
             "engine_version": ENGINE_VERSION,
             "created": time.time(),
@@ -83,23 +98,61 @@ def encode_entry(job: SimJob, result: SimResult) -> str:
             "result": result.to_dict(),
         },
         sort_keys=True,
-    )
+    ).encode("utf-8")
+    return ENTRY_MAGIC + struct.pack(">I", len(raw)) + zlib.compress(raw, 6)
+
+
+def entry_logical_size(payload: Union[str, bytes]) -> int:
+    """Uncompressed (logical) byte size of one encoded entry payload.
+
+    v2 payloads record it in the header; v1 plain-text payloads *are*
+    their logical bytes.  Damaged headers count as their stored size so
+    stats never raise on a corrupt store.
+    """
+    if isinstance(payload, str):
+        return len(payload.encode("utf-8"))
+    if payload.startswith(ENTRY_MAGIC) and len(payload) >= ENTRY_HEADER_LEN:
+        return int(
+            struct.unpack(">I", payload[len(ENTRY_MAGIC):ENTRY_HEADER_LEN])[0]
+        )
+    return len(payload)
+
+
+def inflate_entry(payload: Union[str, bytes]) -> bytes:
+    """Raw JSON bytes of an encoded entry, whichever codec wrote it.
+
+    Raises :class:`zlib.error` on a torn v2 pack — chaos hooks use this
+    to rewrite entries; validated reads go through :func:`decode_entry`
+    which maps that to a quarantine reason instead.
+    """
+    if isinstance(payload, str):
+        return payload.encode("utf-8")
+    if payload.startswith(ENTRY_MAGIC):
+        return zlib.decompress(payload[ENTRY_HEADER_LEN:])
+    return payload
 
 
 def decode_entry(
-    text: str, job: SimJob
+    text: Union[str, bytes], job: SimJob
 ) -> Tuple[Optional[SimResult], Optional[str]]:
     """Parse and validate one stored entry against its job.
 
-    Returns ``(result, None)`` for a healthy entry and ``(None, reason)``
-    for anything else — unparsable bytes, a malformed payload, or a
-    result that fails the engine invariants.  Both backends funnel every
-    read through this, so "what counts as corrupt" can never diverge
-    between them.
+    Accepts both codec versions — v2 zlib-packed bytes (``NUC2`` magic)
+    and legacy v1 plain JSON text — so stores written before the codec
+    change read back transparently.  Returns ``(result, None)`` for a
+    healthy entry and ``(None, reason)`` for anything else — unparsable
+    bytes, a malformed payload, or a result that fails the engine
+    invariants.  Every backend funnels every read through this, so
+    "what counts as corrupt" can never diverge between them.
     """
+    if isinstance(text, bytes) and text.startswith(ENTRY_MAGIC):
+        try:
+            text = zlib.decompress(text[ENTRY_HEADER_LEN:])
+        except zlib.error:
+            return None, "unreadable or corrupt JSON (torn v2 pack)"
     try:
         payload = json.loads(text)
-    except ValueError:
+    except (ValueError, UnicodeDecodeError):
         return None, "unreadable or corrupt JSON"
     try:
         result = SimResult.from_dict(payload["result"])
@@ -149,12 +202,16 @@ class StoreCounters:
     lease_contentions: int = 0
     stale_takeovers: int = 0
     busy_retries: int = 0
+    reconnects: int = 0
+    retried_requests: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Counters as a plain dict (sorted rendering is the caller's job)."""
         return {
             "busy_retries": self.busy_retries,
             "lease_contentions": self.lease_contentions,
+            "reconnects": self.reconnects,
+            "retried_requests": self.retried_requests,
             "stale_takeovers": self.stale_takeovers,
         }
 
@@ -170,11 +227,15 @@ class StoreStats:
     backend: str = "fs"
     leases_active: int = 0
     leases_stale: int = 0
+    logical_bytes: int = 0
 
     def describe(self) -> str:
         """One-line human-readable summary."""
         kib = self.total_bytes / 1024.0
         line = f"{self.entries} entries, {kib:.1f} KiB in {self.root}"
+        if self.logical_bytes and self.logical_bytes != self.total_bytes:
+            logical_kib = self.logical_bytes / 1024.0
+            line += f" ({logical_kib:.1f} KiB logical)"
         if self.quarantined:
             line += f"; {self.quarantined} quarantined"
         if self.leases_active or self.leases_stale:
@@ -250,12 +311,18 @@ class AbstractResultStore(abc.ABC):
 
     @abc.abstractmethod
     def acquire_lease(
-        self, key: str, ttl: float = DEFAULT_LEASE_TTL
+        self,
+        key: str,
+        ttl: float = DEFAULT_LEASE_TTL,
+        owner: Optional[str] = None,
     ) -> Optional[Lease]:
         """Try to take the compute lease for ``key``.
 
-        Returns the :class:`Lease` on success (including a takeover of a
-        stale lease, flagged via :attr:`Lease.takeover` and counted in
+        ``owner`` defaults to this process's :func:`lease_owner_id`; the
+        network server passes the *client's* identity through so leases
+        stay attributed fleet-wide.  Returns the :class:`Lease` on
+        success (including a takeover of a stale lease, flagged via
+        :attr:`Lease.takeover` and counted in
         :attr:`StoreCounters.stale_takeovers`), or ``None`` when another
         live process holds it (counted in
         :attr:`StoreCounters.lease_contentions`).

@@ -46,11 +46,15 @@ from repro.exec.job import ENGINE_VERSION, SimJob
 from repro.exec.stores.base import (
     AbstractResultStore,
     DEFAULT_LEASE_TTL,
+    ENTRY_HEADER_LEN,
+    ENTRY_MAGIC,
     Lease,
     StoreStats,
     decode_entry,
     default_store_dir,
     encode_entry,
+    entry_logical_size,
+    inflate_entry,
     lease_owner_id,
     stale_after,
 )
@@ -118,16 +122,13 @@ class FileResultStore(AbstractResultStore):
         """
         path = self._path(job.key())
         try:
-            text = path.read_text(encoding="utf-8")
+            text = path.read_bytes()
         except FileNotFoundError:
             return None
         except OSError as exc:
             if exc.errno == errno.ENOENT:  # pruned between open and read
                 return None
             self.quarantine(path, "unreadable entry")
-            return None
-        except ValueError:
-            self.quarantine(path, "unreadable or corrupt JSON")
             return None
         result, reason = decode_entry(text, job)
         if result is None:
@@ -151,7 +152,7 @@ class FileResultStore(AbstractResultStore):
         for _attempt in range(3):
             path.parent.mkdir(parents=True, exist_ok=True)
             try:
-                with open(tmp, "w", encoding="utf-8") as handle:
+                with open(tmp, "wb") as handle:
                     handle.write(payload)
                     handle.flush()
                     os.fsync(handle.fileno())
@@ -252,7 +253,10 @@ class FileResultStore(AbstractResultStore):
         return True
 
     def acquire_lease(
-        self, key: str, ttl: float = DEFAULT_LEASE_TTL
+        self,
+        key: str,
+        ttl: float = DEFAULT_LEASE_TTL,
+        owner: Optional[str] = None,
     ) -> Optional[Lease]:
         """Take the compute lease for ``key`` via ``O_EXCL`` file creation.
 
@@ -263,7 +267,7 @@ class FileResultStore(AbstractResultStore):
         """
         self.leases_dir.mkdir(parents=True, exist_ok=True)
         path = self._lease_path(key)
-        owner = lease_owner_id()
+        owner = owner if owner is not None else lease_owner_id()
         now = time.time()
         record = {
             "key": key,
@@ -352,14 +356,19 @@ class FileResultStore(AbstractResultStore):
     # ------------------------------------------------------------------
 
     def corrupt_entry(self, key: str, mode: str = "truncate") -> bool:
-        """Damage a stored entry in place (chaos testing only)."""
+        """Damage a stored entry in place (chaos testing only).
+
+        ``semantic`` damage decodes either codec version, skews the
+        counters, and writes the entry back as well-formed v1 JSON so
+        only read-side *validation* — never codec framing — catches it.
+        """
         path = self._path(key)
         try:
             data = path.read_bytes()
         except OSError:
             return False
         if mode == "semantic":
-            payload = json.loads(data)
+            payload = json.loads(inflate_entry(data))
             core = payload["result"]["cores"][0]
             core["llc_misses"] = int(core["llc_accesses"]) + 1
             path.write_text(json.dumps(payload, sort_keys=True),
@@ -375,7 +384,7 @@ class FileResultStore(AbstractResultStore):
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             payload = encode_entry(job, result)
-            tmp.write_text(payload[: len(payload) // 2], encoding="utf-8")
+            tmp.write_bytes(payload[: len(payload) // 2])
         except OSError:
             pass
         raise StoreError(
@@ -420,12 +429,20 @@ class FileResultStore(AbstractResultStore):
         """
         entries = 0
         total = 0
+        logical = 0
         for path in self._entries():
             try:
-                total += path.stat().st_size
-                entries += 1
+                stored = path.stat().st_size
+                with open(path, "rb") as handle:
+                    header = handle.read(ENTRY_HEADER_LEN)
             except OSError:
                 continue
+            total += stored
+            if header.startswith(ENTRY_MAGIC) and len(header) >= ENTRY_HEADER_LEN:
+                logical += entry_logical_size(header)
+            else:
+                logical += stored  # v1 plain text is its own logical size
+            entries += 1
         leases = self.active_leases()
         stale = sum(1 for _, _, is_stale in leases if is_stale)
         return StoreStats(
@@ -436,6 +453,7 @@ class FileResultStore(AbstractResultStore):
             backend=self.backend,
             leases_active=len(leases) - stale,
             leases_stale=stale,
+            logical_bytes=logical,
         )
 
     def clear(self) -> int:

@@ -42,11 +42,15 @@ from repro.exec.job import ENGINE_VERSION, SimJob
 from repro.exec.stores.base import (
     AbstractResultStore,
     DEFAULT_LEASE_TTL,
+    ENTRY_HEADER_LEN,
+    ENTRY_MAGIC,
     Lease,
     StoreStats,
     decode_entry,
     default_store_dir,
     encode_entry,
+    entry_logical_size,
+    inflate_entry,
     lease_owner_id,
     stale_after,
 )
@@ -138,6 +142,10 @@ class SqliteResultStore(AbstractResultStore):
             conn = sqlite3.connect(
                 str(self.path), timeout=BUSY_TIMEOUT_MS / 1000.0,
                 isolation_level=None,
+                # The net-store server dispatches from worker threads but
+                # serializes every backend call behind one lock, so
+                # cross-thread use of this connection is safe.
+                check_same_thread=False,
             )
             conn.execute("PRAGMA journal_mode=WAL")
             conn.execute("PRAGMA synchronous=FULL")
@@ -211,13 +219,15 @@ class SqliteResultStore(AbstractResultStore):
         """
         key = job.key()
 
-        def _select(conn: sqlite3.Connection) -> Optional[str]:
+        def _select(conn: sqlite3.Connection) -> Optional[Union[str, bytes]]:
             row = conn.execute(
                 "SELECT payload FROM entries "
                 "WHERE key = ? AND engine_version = ?",
                 (key, ENGINE_VERSION),
             ).fetchone()
-            return None if row is None else str(row[0])
+            # v2 rows are BLOBs; v1 rows written before the codec change
+            # come back as TEXT — decode_entry reads both.
+            return None if row is None else row[0]
 
         payload = self._retry("get", _select)
         if payload is None:
@@ -243,7 +253,9 @@ class SqliteResultStore(AbstractResultStore):
 
         return self._retry("put", _insert)
 
-    def _quarantine_row(self, key: str, payload: str, reason: str) -> None:
+    def _quarantine_row(
+        self, key: str, payload: Union[str, bytes], reason: str
+    ) -> None:
         """Move a bad entry to the quarantine table (kept, never served)."""
 
         def _move(conn: sqlite3.Connection) -> None:
@@ -283,7 +295,10 @@ class SqliteResultStore(AbstractResultStore):
     # ------------------------------------------------------------------
 
     def acquire_lease(
-        self, key: str, ttl: float = DEFAULT_LEASE_TTL
+        self,
+        key: str,
+        ttl: float = DEFAULT_LEASE_TTL,
+        owner: Optional[str] = None,
     ) -> Optional[Lease]:
         """Take the compute lease for ``key`` in one write transaction.
 
@@ -292,7 +307,7 @@ class SqliteResultStore(AbstractResultStore):
         inserts (or takes over a stale row), everyone else sees a live
         foreign lease and backs off.
         """
-        owner = lease_owner_id()
+        owner = owner if owner is not None else lease_owner_id()
 
         def _acquire(conn: sqlite3.Connection) -> Optional[Lease]:
             now = time.time()
@@ -380,9 +395,10 @@ class SqliteResultStore(AbstractResultStore):
             ).fetchone()
             if row is None:
                 return False
-            payload = str(row[0])
+            payload = row[0]
+            damaged: Union[str, bytes]
             if mode == "semantic":
-                parsed = json.loads(payload)
+                parsed = json.loads(inflate_entry(payload))
                 core = parsed["result"]["cores"][0]
                 core["llc_misses"] = int(core["llc_accesses"]) + 1
                 damaged = json.dumps(parsed, sort_keys=True)
@@ -402,18 +418,29 @@ class SqliteResultStore(AbstractResultStore):
     def stats(self) -> StoreStats:
         """Entry count, payload footprint, quarantine and lease census."""
 
-        def _collect(conn: sqlite3.Connection) -> Tuple[int, int, int]:
-            entries, total = conn.execute(
-                "SELECT COUNT(*), COALESCE(SUM(LENGTH(payload)), 0) "
+        def _collect(conn: sqlite3.Connection) -> Tuple[int, int, int, int]:
+            entries = 0
+            total = 0
+            logical = 0
+            rows = conn.execute(
+                "SELECT LENGTH(payload), SUBSTR(payload, 1, ?) "
                 "FROM entries WHERE engine_version = ?",
-                (ENGINE_VERSION,),
-            ).fetchone()
+                (ENTRY_HEADER_LEN, ENGINE_VERSION),
+            ).fetchall()
+            for stored, header in rows:
+                stored = int(stored or 0)
+                entries += 1
+                total += stored
+                if isinstance(header, bytes) and header.startswith(ENTRY_MAGIC):
+                    logical += entry_logical_size(header)
+                else:
+                    logical += stored  # v1 TEXT rows are their logical size
             quarantined = conn.execute(
                 "SELECT COUNT(*) FROM quarantine"
             ).fetchone()[0]
-            return int(entries), int(total), int(quarantined)
+            return entries, total, logical, int(quarantined)
 
-        entries, total, quarantined = self._retry("stats", _collect)
+        entries, total, logical, quarantined = self._retry("stats", _collect)
         leases = self.active_leases()
         stale = sum(1 for _, _, is_stale in leases if is_stale)
         return StoreStats(
@@ -424,6 +451,7 @@ class SqliteResultStore(AbstractResultStore):
             backend=self.backend,
             leases_active=len(leases) - stale,
             leases_stale=stale,
+            logical_bytes=logical,
         )
 
     def clear(self) -> int:

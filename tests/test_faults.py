@@ -254,9 +254,12 @@ class TestValidation:
     def test_store_quarantines_invalid_entry_on_read(self, store):
         job = _grid()[0]
         path = store.put(job, execute_job(job))
-        payload = json.loads(path.read_text(encoding="utf-8"))
+        from repro.exec.stores.base import inflate_entry
+
+        payload = json.loads(inflate_entry(path.read_bytes()))
         core = payload["result"]["cores"][0]
         core["llc_misses"] = int(core["llc_accesses"]) + 1
+        # Written back as v1 plain text: the reader accepts both codecs.
         path.write_text(json.dumps(payload), encoding="utf-8")
 
         assert store.get(job) is None  # never served

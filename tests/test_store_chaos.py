@@ -18,7 +18,13 @@ import pytest
 from repro.common.errors import StoreError
 from repro.exec import Scheduler, SimJob, execute_job
 from repro.exec.faults import FaultPlan, FaultyStore
-from repro.exec.stores import BACKENDS, FileResultStore, SqliteResultStore
+from repro.exec.stores import (
+    BACKENDS,
+    FileResultStore,
+    NetResultStore,
+    SqliteResultStore,
+    StoreServer,
+)
 
 ACCESSES = 3_000
 
@@ -32,6 +38,43 @@ def _grid(count: int = 4):
 
 def _healthy_results(batch):
     return [execute_job(job) for job in batch]
+
+
+@pytest.fixture(params=sorted(BACKENDS))
+def store_factory(request, tmp_path):
+    """Factory for fresh store handles over one shared medium, per backend.
+
+    Chaos tests need several independent handles on the same store (a
+    warmer, the store under test, a rerun).  ``fs``/``sqlite`` hand out
+    stores over one tmpdir; ``net`` hands out TCP clients of one live
+    fs-backed :class:`StoreServer`.  The factory's ``backend`` attribute
+    names the flavor.
+    """
+    backend = request.param
+    base = tmp_path / "store"
+    if backend == "net":
+        server = StoreServer(FileResultStore(base), port=0)
+        server.start()
+        host, port = server.address
+        handles = []
+
+        def make_net():
+            client = NetResultStore(f"{host}:{port}")
+            handles.append(client)
+            return client
+
+        make_net.backend = backend
+        yield make_net
+        for client in handles:
+            client.close()
+        server.close()
+        return
+
+    def make_local():
+        return BACKENDS[backend](base)
+
+    make_local.backend = backend
+    yield make_local
 
 
 class _DeadStore:
@@ -108,15 +151,14 @@ class TestDegradedMode:
         healthy = _healthy_results(batch)
         assert [r.to_dict() for r in results] == [r.to_dict() for r in healthy]
 
-    @pytest.mark.parametrize("backend", sorted(BACKENDS))
-    def test_store_dying_mid_run_completes_batch(self, backend, tmp_path):
+    def test_store_dying_mid_run_completes_batch(self, store_factory):
         batch = _grid()
         # Warm two entries so the run starts with real hits, then the
         # store dies partway through the batch.
-        warm = BACKENDS[backend](tmp_path / "store")
+        warm = store_factory()
         for job in batch[:2]:
             warm.put(job, execute_job(job))
-        dying = _DyingStore(BACKENDS[backend](tmp_path / "store"), budget=3)
+        dying = _DyingStore(store_factory(), budget=3)
         scheduler = Scheduler(jobs=1, store=dying)
         results = scheduler.run(batch)
         report = scheduler.last_report
@@ -126,15 +168,12 @@ class TestDegradedMode:
         healthy = _healthy_results(batch)
         assert [r.to_dict() for r in results] == [r.to_dict() for r in healthy]
 
-    @pytest.mark.parametrize("backend", sorted(BACKENDS))
-    def test_read_only_store_still_serves_hits(self, backend, tmp_path):
+    def test_read_only_store_still_serves_hits(self, store_factory):
         batch = _grid()
-        warm = BACKENDS[backend](tmp_path / "store")
+        warm = store_factory()
         for job in batch[:2]:
             warm.put(job, execute_job(job))
-        scheduler = Scheduler(
-            jobs=1, store=_ReadOnlyStore(BACKENDS[backend](tmp_path / "store"))
-        )
+        scheduler = Scheduler(jobs=1, store=_ReadOnlyStore(store_factory()))
         results = scheduler.run(batch)
         report = scheduler.last_report
         assert report.cached == 2  # reads still work
@@ -182,11 +221,10 @@ class TestDegradedMode:
 
 
 class TestStoreFaultInjection:
-    @pytest.mark.parametrize("backend", sorted(BACKENDS))
-    def test_put_crash_degrades_not_fails(self, backend, tmp_path):
+    def test_put_crash_degrades_not_fails(self, store_factory, tmp_path):
         batch = _grid()
         plan = FaultPlan(store_put_crash=1.0, scratch=str(tmp_path / "m"))
-        store = FaultyStore(BACKENDS[backend](tmp_path / "store"), plan)
+        store = FaultyStore(store_factory(), plan)
         scheduler = Scheduler(jobs=1, store=store)
         results = scheduler.run(batch)
         report = scheduler.last_report
@@ -196,14 +234,15 @@ class TestStoreFaultInjection:
         healthy = _healthy_results(batch)
         assert [r.to_dict() for r in results] == [r.to_dict() for r in healthy]
 
-    @pytest.mark.parametrize("backend", sorted(BACKENDS))
-    def test_get_corruption_quarantines_and_recomputes(self, backend, tmp_path):
+    def test_get_corruption_quarantines_and_recomputes(
+        self, store_factory, tmp_path
+    ):
         batch = _grid()
-        real = BACKENDS[backend](tmp_path / "store")
+        real = store_factory()
         for job in batch:
             real.put(job, execute_job(job))
         plan = FaultPlan(store_get_corrupt=1.0, scratch=str(tmp_path / "m"))
-        store = FaultyStore(BACKENDS[backend](tmp_path / "store"), plan)
+        store = FaultyStore(store_factory(), plan)
         scheduler = Scheduler(jobs=1, store=store)
         results = scheduler.run(batch)
         report = scheduler.last_report
@@ -219,11 +258,12 @@ class TestStoreFaultInjection:
         rerun.run(batch)
         assert rerun.last_report.cached == len(batch)
 
-    @pytest.mark.parametrize("backend", sorted(BACKENDS))
-    def test_orphaned_leases_surface_and_get_swept(self, backend, tmp_path):
+    def test_orphaned_leases_surface_and_get_swept(
+        self, store_factory, tmp_path
+    ):
         batch = _grid(2)
         plan = FaultPlan(store_lease_orphan=1.0, scratch=str(tmp_path / "m"))
-        store = FaultyStore(BACKENDS[backend](tmp_path / "store"), plan)
+        store = FaultyStore(store_factory(), plan)
         scheduler = Scheduler(jobs=1, store=store, lease_ttl=0.1)
         results = scheduler.run(batch)
         assert all(r is not None for r in results)
@@ -268,36 +308,26 @@ class TestStoreFaultInjection:
 
 
 class TestSingleFlight:
-    @pytest.mark.parametrize("backend", sorted(BACKENDS))
-    def test_second_scheduler_is_fully_cache_served(self, backend, tmp_path):
+    def test_second_scheduler_is_fully_cache_served(self, store_factory):
         batch = _grid()
-        first = Scheduler(jobs=1, store=BACKENDS[backend](tmp_path / "store"))
+        first = Scheduler(jobs=1, store=store_factory())
         first.run(batch)
         assert first.last_report.completed == len(batch)
-        second = Scheduler(jobs=1, store=BACKENDS[backend](tmp_path / "store"))
+        second = Scheduler(jobs=1, store=store_factory())
         second.run(batch)
         assert second.last_report.cached == len(batch)
         assert second.last_report.completed == 0
 
-    @pytest.mark.parametrize("backend", sorted(BACKENDS))
-    def test_waiter_is_served_by_the_winners_put(
-        self, backend, tmp_path, monkeypatch
-    ):
+    def test_waiter_is_served_by_the_winners_put(self, store_factory):
         """A loser of the lease race settles from the winner's put."""
-        import repro.exec.stores.fs as fs_mod
-        import repro.exec.stores.sqlite as sq_mod
-
-        store = BACKENDS[backend](tmp_path / "store")
+        store = store_factory()
         job = _grid(1)[0]
-        holder_mod = fs_mod if backend == "fs" else sq_mod
-        monkeypatch.setattr(holder_mod, "lease_owner_id", lambda: "winner:1")
-        winner_lease = store.acquire_lease(job.key(), ttl=30.0)
-        monkeypatch.undo()
+        winner_lease = store.acquire_lease(job.key(), ttl=30.0, owner="winner:1")
         assert winner_lease is not None
 
         scheduler = Scheduler(
             jobs=1,
-            store=BACKENDS[backend](tmp_path / "store"),
+            store=store_factory(),
             backoff_base=0.02,
         )
         done = {}
@@ -318,24 +348,18 @@ class TestSingleFlight:
         assert report.lease_contentions == 1
         assert done["results"][0] == execute_job(job)
 
-    @pytest.mark.parametrize("backend", sorted(BACKENDS))
-    def test_waiter_takes_over_a_crashed_winner(
-        self, backend, tmp_path, monkeypatch
-    ):
+    def test_waiter_takes_over_a_crashed_winner(self, store_factory):
         """A waiter computes itself once the holder's lease goes stale."""
-        import repro.exec.stores.fs as fs_mod
-        import repro.exec.stores.sqlite as sq_mod
-
-        store = BACKENDS[backend](tmp_path / "store")
+        store = store_factory()
         job = _grid(1)[0]
-        holder_mod = fs_mod if backend == "fs" else sq_mod
-        monkeypatch.setattr(holder_mod, "lease_owner_id", lambda: "crashed:1")
-        assert store.acquire_lease(job.key(), ttl=0.3) is not None
-        monkeypatch.undo()
+        assert (
+            store.acquire_lease(job.key(), ttl=0.3, owner="crashed:1")
+            is not None
+        )
 
         scheduler = Scheduler(
             jobs=1,
-            store=BACKENDS[backend](tmp_path / "store"),
+            store=store_factory(),
             backoff_base=0.02,
         )
         results = scheduler.run([job])
@@ -384,7 +408,8 @@ class TestRobustnessCLI:
         assert lines[0] == lines[1]
         assert (
             "robustness [sqlite]: busy_retries=0 lease_contentions=0 "
-            "leases_active=0 leases_stale=0 stale_takeovers=0" in lines[0]
+            "leases_active=0 leases_stale=0 reconnects=0 "
+            "retried_requests=0 stale_takeovers=0" in lines[0]
         )
 
     def test_cache_stats_counts_leases(self, tmp_path, monkeypatch, capsys):

@@ -2,7 +2,9 @@
 
 True cross-process concurrency (no mocks): several OS processes hammer
 one store with writes, validated reads, and maintenance at once, on
-both backends.  The invariants:
+every backend — for ``net``, the forked workers are genuine TCP
+clients of one live :class:`StoreServer` in the parent process.  The
+invariants:
 
 * no lost entries — every written key is readable and valid at the end;
 * no torn reads — a concurrent reader sees a valid entry or a miss,
@@ -22,7 +24,7 @@ import time
 import pytest
 
 from repro.exec import Scheduler, SimJob, execute_job
-from repro.exec.stores import BACKENDS
+from repro.exec.stores import BACKENDS, FileResultStore, StoreServer
 
 ACCESSES = 2_000
 SEEDS = range(6)
@@ -32,6 +34,29 @@ pytestmark = pytest.mark.skipif(
     "fork" not in multiprocessing.get_all_start_methods(),
     reason="stress tests need the fork start method",
 )
+
+
+@pytest.fixture(params=sorted(BACKENDS))
+def stress_target(request, tmp_path):
+    """``(backend, target)`` for each backend, forked-worker ready.
+
+    ``fs``/``sqlite`` get a pre-created tmpdir root.  ``net`` gets one
+    live fs-backed :class:`StoreServer` in the parent process; workers
+    receive its ``host:port`` address and contend over real TCP.
+    """
+    backend = request.param
+    base = tmp_path / "store"
+    if backend == "net":
+        server = StoreServer(FileResultStore(base), port=0)
+        server.start()
+        host, port = server.address
+        yield backend, f"{host}:{port}"
+        server.close()
+        return
+    # Pre-create the store root (and sqlite schema) before forking, so
+    # workers never race the one-time initialization.
+    BACKENDS[backend](base).stats()
+    yield backend, base
 
 
 def _jobs():
@@ -141,12 +166,8 @@ def _run_all(processes, timeout=120):
 # ----------------------------------------------------------------------
 
 
-@pytest.mark.parametrize("backend", sorted(BACKENDS))
-def test_concurrent_writers_readers_pruners(backend, tmp_path):
-    base = tmp_path / "store"
-    # Pre-create the store root (and sqlite schema) before forking, so
-    # workers never race the one-time initialization.
-    BACKENDS[backend](base).stats()
+def test_concurrent_writers_readers_pruners(stress_target):
+    backend, base = stress_target
     barrier = _mp.Barrier(5)
     processes = [
         _mp.Process(target=_writer, args=(backend, base, barrier)),
@@ -170,14 +191,12 @@ def test_concurrent_writers_readers_pruners(backend, tmp_path):
     assert store.active_leases() == []
 
 
-@pytest.mark.parametrize("backend", sorted(BACKENDS))
-def test_singleflight_computes_each_job_exactly_once(backend, tmp_path):
-    base = tmp_path / "store"
+def test_singleflight_computes_each_job_exactly_once(stress_target, tmp_path):
+    backend, base = stress_target
     marker_dir = tmp_path / "markers"
     report_dir = tmp_path / "reports"
     marker_dir.mkdir()
     report_dir.mkdir()
-    BACKENDS[backend](base).stats()  # pre-create before forking
 
     contenders = 4
     barrier = _mp.Barrier(contenders)

@@ -1,11 +1,13 @@
 """Backend contract tests for the pluggable result store.
 
-Every test in :class:`TestStoreContract` runs against both backends —
-the filesystem store and the sqlite store must be observably
+Every test in :class:`TestStoreContract` runs against every backend —
+the filesystem store, the sqlite store, and the networked store (a live
+in-test server on an ephemeral port) must be observably
 interchangeable: same hit/miss behavior, same validation and quarantine
 semantics, same lease protocol, same maintenance operations.  Backend
 mechanics that cannot be expressed portably (fsync ordering, temp-file
-debris, WAL busy retries) get their own backend-specific classes below.
+debris, WAL busy retries, reconnect machinery) get their own
+backend-specific classes below and in ``test_net_store.py``.
 """
 
 from __future__ import annotations
@@ -22,11 +24,13 @@ from repro.exec import SimJob, execute_job
 from repro.exec.stores import (
     BACKENDS,
     FileResultStore,
+    NetResultStore,
     SqliteResultStore,
     from_url,
     make_store,
 )
 from repro.exec.stores.base import STORE_BACKEND_ENV_VAR
+from repro.exec.stores.net import StoreServer
 
 ACCESSES = 4_000
 
@@ -37,8 +41,22 @@ def _make_store(backend: str, base):
 
 @pytest.fixture(params=sorted(BACKENDS))
 def any_store(request, tmp_path):
-    """One store per registered backend, rooted in a fresh tmpdir."""
-    return _make_store(request.param, tmp_path / "store")
+    """One store per registered backend, rooted in a fresh tmpdir.
+
+    The ``net`` flavor runs the full client/server stack: a live
+    :class:`StoreServer` (fs-backed) on an ephemeral port, so the shared
+    contract exercises the wire protocol unchanged.
+    """
+    if request.param == "net":
+        server = StoreServer(FileResultStore(tmp_path / "store"), port=0)
+        server.start()
+        host, port = server.address
+        client = NetResultStore(f"{host}:{port}")
+        yield client
+        client.close()
+        server.close()
+        return
+    yield _make_store(request.param, tmp_path / "store")
 
 
 def _job(seed: int = 1) -> SimJob:
@@ -113,11 +131,14 @@ class TestStoreContract:
 
     def test_stale_lease_taken_over(self, any_store, monkeypatch):
         import repro.exec.stores.fs as fs_mod
+        import repro.exec.stores.net as net_mod
         import repro.exec.stores.sqlite as sq_mod
 
         key = _job().key()
         # A foreign process takes the lease, then crashes (no heartbeat).
-        holder_mod = fs_mod if any_store.backend == "fs" else sq_mod
+        holder_mod = {
+            "fs": fs_mod, "sqlite": sq_mod, "net": net_mod,
+        }[any_store.backend]
         monkeypatch.setattr(holder_mod, "lease_owner_id", lambda: "ghost:999")
         crashed = any_store.acquire_lease(key, ttl=0.05)
         monkeypatch.undo()
@@ -177,13 +198,15 @@ class TestStoreContract:
             "lease_contentions": 0,
             "leases_active": 0,
             "leases_stale": 0,
+            "reconnects": 0,
+            "retried_requests": 0,
             "stale_takeovers": 0,
         }
         line = any_store.describe_health()
         assert line == (
             f"robustness [{any_store.backend}]: busy_retries=0 "
             "lease_contentions=0 leases_active=0 leases_stale=0 "
-            "stale_takeovers=0"
+            "reconnects=0 retried_requests=0 stale_takeovers=0"
         )
 
     def test_stats_names_backend(self, any_store):
@@ -209,7 +232,7 @@ class TestBackendSelection:
         assert isinstance(make_store("fs"), FileResultStore)
 
     def test_unknown_backend_rejected(self):
-        with pytest.raises(StoreError):
+        with pytest.raises(StoreError, match="accepted forms.*net://HOST:PORT"):
             make_store("redis")
 
     def test_url_roots_fs_store(self, tmp_path):
@@ -228,17 +251,48 @@ class TestBackendSelection:
         assert store.base == tmp_path
 
     def test_url_without_scheme_rejected(self):
-        with pytest.raises(StoreError):
+        with pytest.raises(
+            StoreError, match=r"no scheme.*accepted forms.*fs://PATH"
+        ):
             from_url("/no/scheme/here")
 
     def test_url_unknown_scheme_rejected(self):
-        with pytest.raises(StoreError):
+        with pytest.raises(
+            StoreError, match=r"unknown store backend 'redis'.*accepted forms"
+        ):
             from_url("redis://somewhere")
 
     def test_make_store_accepts_urls(self, tmp_path, monkeypatch):
         monkeypatch.delenv(STORE_BACKEND_ENV_VAR, raising=False)
         store = make_store(f"sqlite://{tmp_path / 'cache'}")
         assert isinstance(store, SqliteResultStore)
+
+    def test_url_builds_net_client(self):
+        store = from_url("net://cachehost:4070")
+        assert isinstance(store, NetResultStore)
+        assert (store.host, store.port) == ("cachehost", 4070)
+
+    def test_net_url_without_address_rejected(self):
+        with pytest.raises(
+            StoreError, match=r"missing an address.*net://HOST:PORT"
+        ):
+            from_url("net://")
+
+    def test_net_url_with_bad_port_rejected(self):
+        with pytest.raises(
+            StoreError, match=r"malformed net store port.*accepted forms"
+        ):
+            from_url("net://host:not-a-port")
+
+    def test_net_url_without_port_rejected(self):
+        with pytest.raises(StoreError, match=r"accepted forms"):
+            from_url("net://hostonly")
+
+    def test_bare_net_backend_name_rejected(self):
+        with pytest.raises(
+            StoreError, match=r"needs a server address.*net://HOST:PORT"
+        ):
+            make_store("net")
 
 
 # ----------------------------------------------------------------------
@@ -328,15 +382,15 @@ class TestFileStoreDurability:
         job = _job()
         path = store.put(job, execute_job(job))
 
-        real_read_text = Path.read_text
+        real_read_bytes = Path.read_bytes
 
-        def pruned_read_text(self, *args, **kwargs):
+        def pruned_read_bytes(self, *args, **kwargs):
             if self == path:
                 # The concurrent prune wins the race: entry is gone.
                 self.unlink(missing_ok=True)
-            return real_read_text(self, *args, **kwargs)
+            return real_read_bytes(self, *args, **kwargs)
 
-        monkeypatch.setattr(Path, "read_text", pruned_read_text)
+        monkeypatch.setattr(Path, "read_bytes", pruned_read_bytes)
         assert store.get(job) is None  # miss, not an exception
         assert store.stats().quarantined == 0  # nothing got quarantined
 
@@ -349,12 +403,12 @@ class TestFileStoreDurability:
         job = _job()
         path = store.put(job, execute_job(job))
 
-        def enoent_read_text(self, *args, **kwargs):
+        def enoent_read_bytes(self, *args, **kwargs):
             if self == path:
                 raise OSError(errno.ENOENT, "pruned mid-open", str(self))
-            return Path.read_text(self, *args, **kwargs)
+            return Path.read_bytes(self, *args, **kwargs)
 
-        monkeypatch.setattr(Path, "read_text", enoent_read_text)
+        monkeypatch.setattr(Path, "read_bytes", enoent_read_bytes)
         assert store.get(job) is None
 
     def test_quarantine_keeps_reason_sidecar(self, tmp_path):
@@ -429,18 +483,101 @@ class TestSqliteStore:
         assert store.stats().entries == 0
 
     def test_payloads_match_fs_codec(self, tmp_path):
-        """Both backends persist the identical entry payload."""
+        """Both backends persist the identical (v2-packed) entry payload."""
+        from repro.exec.stores.base import ENTRY_MAGIC, inflate_entry
+
         fs_store = FileResultStore(tmp_path / "fs")
         sq_store = SqliteResultStore(tmp_path / "sq")
         job = _job()
         result = execute_job(job)
         path = fs_store.put(job, result)
         sq_store.put(job, result)
-        fs_payload = json.loads(path.read_text(encoding="utf-8"))
+        fs_raw = path.read_bytes()
         row = sq_store._connection().execute(
             "SELECT payload FROM entries WHERE key = ?", (job.key(),)
         ).fetchone()
-        sq_payload = json.loads(row[0])
+        assert fs_raw.startswith(ENTRY_MAGIC)
+        assert bytes(row[0]).startswith(ENTRY_MAGIC)
+        fs_payload = json.loads(inflate_entry(fs_raw))
+        sq_payload = json.loads(inflate_entry(bytes(row[0])))
         fs_payload.pop("created")
         sq_payload.pop("created")
         assert fs_payload == sq_payload
+
+
+class TestEntryCodec:
+    """The shared v2 entry codec: pack, read-back, and compat."""
+
+    def test_round_trip(self):
+        from repro.exec.stores.base import decode_entry, encode_entry
+
+        job = _job()
+        result = execute_job(job)
+        payload = encode_entry(job, result)
+        decoded, reason = decode_entry(payload, job)
+        assert reason is None
+        assert decoded is not None
+        assert decoded.to_dict() == result.to_dict()
+
+    def test_v1_plain_json_reads_back(self):
+        """Entries written before the codec change decode transparently."""
+        from repro.exec.stores.base import decode_entry
+        from repro.exec.job import ENGINE_VERSION
+
+        job = _job()
+        result = execute_job(job)
+        v1_text = json.dumps(
+            {
+                "engine_version": ENGINE_VERSION,
+                "created": time.time(),
+                "job": job.to_dict(),
+                "result": result.to_dict(),
+            },
+            sort_keys=True,
+        )
+        for flavor in (v1_text, v1_text.encode("utf-8")):
+            decoded, reason = decode_entry(flavor, job)
+            assert reason is None
+            assert decoded is not None
+            assert decoded.to_dict() == result.to_dict()
+
+    def test_pack_is_smaller_than_logical(self):
+        from repro.exec.stores.base import (
+            ENTRY_MAGIC,
+            encode_entry,
+            entry_logical_size,
+            inflate_entry,
+        )
+
+        job = _job()
+        payload = encode_entry(job, execute_job(job))
+        assert payload.startswith(ENTRY_MAGIC)
+        logical = entry_logical_size(payload)
+        assert logical == len(inflate_entry(payload))
+        assert len(payload) < logical
+
+    def test_logical_size_of_v1_text_is_its_own_length(self):
+        from repro.exec.stores.base import entry_logical_size
+
+        assert entry_logical_size('{"a": 1}') == 8
+        assert entry_logical_size(b'{"a": 1}') == 8
+
+    def test_torn_pack_quarantine_reason(self):
+        from repro.exec.stores.base import decode_entry, encode_entry
+
+        job = _job()
+        payload = encode_entry(job, execute_job(job))
+        torn = payload[: len(payload) // 2]
+        decoded, reason = decode_entry(torn, job)
+        assert decoded is None
+        assert reason == "unreadable or corrupt JSON (torn v2 pack)"
+
+    def test_torn_pack_quarantines_on_disk(self, tmp_path):
+        """A half-written v2 file is a miss + quarantine, not a crash."""
+        store = FileResultStore(tmp_path / "store")
+        job = _job()
+        path = store.put(job, execute_job(job))
+        payload = path.read_bytes()
+        path.write_bytes(payload[: len(payload) // 2])
+        assert store.get(job) is None
+        assert len(list(store.quarantined_entries())) == 1
